@@ -1,0 +1,89 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and writes them to stdout:
+//
+//	experiments            # full scale (~a few minutes)
+//	experiments -quick     # reduced scale smoke run
+//	experiments -only figure4,table3
+//
+// The output is the textual equivalent of the paper's artifacts; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"offloadsim/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced-scale smoke run")
+		only  = flag.String("only", "", "comma-separated subset: table1,table2,table3,figure1,figure2,figure3,figure4,figure5,scaling,ablation")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		plots = flag.Bool("plot", false, "also render Figure 4 as ASCII charts")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	opt.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	out := os.Stdout
+	start := time.Now()
+
+	if selected("table1") {
+		experiments.TableI(out)
+	}
+	if selected("table2") {
+		experiments.TableII(out)
+	}
+	if selected("figure1") {
+		experiments.Figure1(opt).Render(out)
+	}
+	if selected("figure2") {
+		experiments.Figure2(opt).Render(out)
+	}
+	if selected("figure3") {
+		experiments.Figure3(opt).Render(out)
+	}
+	if selected("figure4") {
+		f4 := experiments.Figure4(opt)
+		f4.Render(out)
+		if *plots {
+			f4.RenderCharts(out)
+		}
+	}
+	if selected("figure5") {
+		experiments.Figure5(opt).Render(out)
+	}
+	if selected("table3") {
+		experiments.TableIII(opt).Render(out)
+	}
+	if selected("scaling") {
+		experiments.Scaling(opt).Render(out)
+	}
+	if selected("ablation") {
+		experiments.HalvedL2(opt).Render(out)
+		experiments.PredictorAblation(opt).Render(out)
+		experiments.PredictorSizing(opt).Render(out)
+		experiments.ProtocolAblation(opt).Render(out)
+		experiments.AsymmetricOSCore(opt).Render(out)
+		experiments.Confidence(opt, 5).Render(out)
+	}
+
+	fmt.Fprintf(out, "completed in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,175 @@
+// Command offsim runs a single off-loading simulation and prints the
+// measured result. It is the interactive front end to the library:
+//
+//	offsim -workload apache -policy HI -n 100 -latency 100
+//	offsim -workload specjbb -policy HI -n 100 -latency 1000 -cores 4
+//	offsim -workload derby -policy DI -dynamic -latency 5000
+//
+// Pass -baseline-compare to also run the single-core no-off-loading
+// baseline and report normalized throughput.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"offloadsim"
+)
+
+func main() {
+	var (
+		workload   = flag.String("workload", "apache", "workload profile: "+strings.Join(offloadsim.WorkloadNames(), ", "))
+		policyName = flag.String("policy", "HI", "decision policy: baseline, SI, DI, HI")
+		threshold  = flag.Int("n", 1000, "off-load threshold N in instructions")
+		latency    = flag.Int("latency", 100, "one-way migration latency in cycles")
+		cores      = flag.Int("cores", 1, "user cores sharing the OS core")
+		dynamic    = flag.Bool("dynamic", false, "enable the dynamic threshold tuner (DI/HI)")
+		dmPred     = flag.Bool("dm-predictor", false, "use the 1500-entry direct-mapped predictor instead of the 200-entry CAM")
+		warmup     = flag.Uint64("warmup", 1_000_000, "warmup instructions per core")
+		measure    = flag.Uint64("measure", 2_000_000, "measured instructions per core")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		instrOnly  = flag.Bool("instrument-only", false, "charge decision overhead but never migrate (Figure 1 mode)")
+		compare    = flag.Bool("baseline-compare", false, "also run the no-off-loading baseline and report normalized throughput")
+		energyRpt  = flag.Bool("energy", false, "evaluate the run under the default asymmetric-CMP energy model")
+		jsonOut    = flag.Bool("json", false, "emit the full result as JSON instead of text")
+		osSlots    = flag.Int("os-slots", 1, "OS core hardware contexts (SMT extension)")
+		moesi      = flag.Bool("moesi", false, "use the MOESI coherence protocol instead of MESI")
+		osL1KB     = flag.Int("os-l1", 0, "OS core L1 size in KB (0 = same as user cores)")
+	)
+	flag.Parse()
+
+	prof, ok := offloadsim.WorkloadByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "offsim: unknown workload %q (have: %s)\n",
+			*workload, strings.Join(offloadsim.WorkloadNames(), ", "))
+		os.Exit(2)
+	}
+	kind, ok := parsePolicy(*policyName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "offsim: unknown policy %q (baseline, SI, DI, HI, oracle)\n", *policyName)
+		os.Exit(2)
+	}
+
+	cfg := offloadsim.DefaultConfig(prof)
+	cfg.Policy = kind
+	cfg.Threshold = *threshold
+	cfg.Migration = offloadsim.CustomMigration(*latency)
+	cfg.UserCores = *cores
+	cfg.WarmupInstrs = *warmup
+	cfg.MeasureInstrs = *measure
+	cfg.Seed = *seed
+	cfg.InstrumentOnly = *instrOnly
+	cfg.DirectMappedPredictor = *dmPred
+	cfg.OSCoreSlots = *osSlots
+	if *moesi {
+		cc := offloadsim.DefaultCoherenceConfig()
+		cc.Protocol = offloadsim.MOESI
+		cfg.Coherence = cc
+	}
+	if *osL1KB > 0 {
+		osCPU := offloadsim.DefaultCPUConfig()
+		osCPU.L1I.SizeBytes = *osL1KB << 10
+		osCPU.L1D.SizeBytes = *osL1KB << 10
+		cfg.OSCPU = &osCPU
+	}
+	if *dynamic {
+		cfg.DynamicN = true
+		tc := offloadsim.DefaultTunerConfig()
+		tc.SampleEpoch = *measure / 40
+		if tc.SampleEpoch < 1000 {
+			tc.SampleEpoch = 1000
+		}
+		tc.BaseRun = tc.SampleEpoch * 4
+		tc.MaxRun = tc.BaseRun * 4
+		cfg.Tuner = tc
+	}
+
+	res, err := offloadsim.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "offsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "offsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printResult(res)
+
+	if *energyRpt {
+		rep, err := offloadsim.Energy(res, offloadsim.DefaultEnergyModel())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "offsim: energy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("energy                  %.6f J over %.6f s (%.2f W avg), EDP %.3e J*s\n",
+			rep.Joules, rep.Seconds, rep.AvgWatts, rep.EDP)
+	}
+
+	if *compare {
+		base := cfg
+		base.Policy = offloadsim.Baseline
+		base.DynamicN = false
+		baseRes, err := offloadsim.Run(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "offsim: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nbaseline throughput     %.4f\n", baseRes.Throughput)
+		fmt.Printf("normalized throughput   %.3f\n", res.Throughput/baseRes.Throughput)
+	}
+}
+
+func parsePolicy(s string) (offloadsim.PolicyKind, bool) {
+	switch strings.ToLower(s) {
+	case "baseline", "none":
+		return offloadsim.Baseline, true
+	case "si", "static":
+		return offloadsim.StaticInstrumentation, true
+	case "di", "dynamic":
+		return offloadsim.DynamicInstrumentation, true
+	case "hi", "hardware":
+		return offloadsim.HardwarePredictor, true
+	case "oracle":
+		return offloadsim.OraclePolicy, true
+	}
+	return 0, false
+}
+
+func printResult(r offloadsim.Result) {
+	fmt.Printf("workload                %s\n", r.Workload)
+	fmt.Printf("policy                  %s (final N=%d)\n", r.Policy, r.Threshold)
+	fmt.Printf("migration one-way       %d cycles\n", r.OneWay)
+	fmt.Printf("user cores              %d\n", r.UserCores)
+	fmt.Printf("instructions            %d\n", r.Instrs)
+	fmt.Printf("cycles (max core)       %d\n", r.Cycles)
+	fmt.Printf("aggregate throughput    %.4f instr/cycle\n", r.Throughput)
+	for i, ipc := range r.PerCoreIPC {
+		fmt.Printf("  core %d IPC            %.4f\n", i, ipc)
+	}
+	fmt.Printf("privileged share        %.1f%%\n", 100*r.PrivFraction)
+	fmt.Printf("OS entries              %d (off-loaded %d = %.1f%%)\n",
+		r.OSEntries, r.Offloads, 100*r.OffloadRate)
+	fmt.Printf("decision overhead       %d cycles\n", r.OverheadCycles)
+	fmt.Printf("user L2 hit rate        %.3f\n", r.UserL2HitRate)
+	fmt.Printf("OS   L2 hit rate        %.3f\n", r.OSL2HitRate)
+	fmt.Printf("OS core utilization     %.1f%%\n", 100*r.OSCoreUtilization)
+	fmt.Printf("mean queue delay        %.0f cycles (max %.0f)\n", r.MeanQueueDelay, r.MaxQueueDelay)
+	fmt.Printf("coherence: c2c          %d, invalidations %d, memory fills %d\n",
+		r.C2CTransfers, r.Invalidations, r.MemoryFills)
+	if r.PredictorExact+r.PredictorWithin5 > 0 {
+		fmt.Printf("predictor accuracy      %.1f%% exact + %.1f%% within ±5%%\n",
+			100*r.PredictorExact, 100*r.PredictorWithin5)
+		fmt.Printf("binary decision acc.    %.1f%%\n", 100*r.BinaryAccuracy)
+	}
+	if len(r.TunerHistory) > 0 {
+		fmt.Printf("tuner: %d threshold changes over %d epochs\n", r.TunerChanges, len(r.TunerHistory))
+	}
+}

@@ -1,0 +1,198 @@
+// Command sweep runs a parameter grid (workloads × policies × thresholds
+// × migration latencies) and emits machine-readable results for external
+// analysis:
+//
+//	sweep -workloads apache,derby -policies HI,SI -n 50,100,1000 -latencies 100,5000 -format csv
+//	sweep -workloads apache -policies HI -n 100 -latencies 100 -format json -energy
+//
+// Every row is one deterministic simulation; rows also carry normalized
+// throughput against the matching single-core baseline, which the tool
+// runs automatically per workload.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"offloadsim"
+)
+
+// Row is one sweep result in export form.
+type Row struct {
+	Workload   string  `json:"workload"`
+	Policy     string  `json:"policy"`
+	Threshold  int     `json:"threshold"`
+	OneWay     int     `json:"one_way_latency"`
+	Throughput float64 `json:"throughput"`
+	Normalized float64 `json:"normalized"`
+	OffloadPct float64 `json:"offload_pct"`
+	OSUtilPct  float64 `json:"os_util_pct"`
+	UserL2Hit  float64 `json:"user_l2_hit"`
+	OSL2Hit    float64 `json:"os_l2_hit"`
+	C2C        uint64  `json:"c2c_transfers"`
+	QueueMean  float64 `json:"queue_mean_cyc"`
+	Joules     float64 `json:"joules,omitempty"`
+	EDP        float64 `json:"edp,omitempty"`
+}
+
+func main() {
+	var (
+		workloadsFlag = flag.String("workloads", "apache", "comma-separated workloads")
+		policiesFlag  = flag.String("policies", "HI", "comma-separated policies: baseline,SI,DI,HI,oracle")
+		nFlag         = flag.String("n", "100", "comma-separated thresholds")
+		latFlag       = flag.String("latencies", "100", "comma-separated one-way migration latencies")
+		format        = flag.String("format", "csv", "output format: csv or json")
+		warmup        = flag.Uint64("warmup", 1_000_000, "warmup instructions")
+		measure       = flag.Uint64("measure", 1_000_000, "measured instructions")
+		seed          = flag.Uint64("seed", 1, "random seed")
+		energy        = flag.Bool("energy", false, "include energy/EDP columns (default power model)")
+	)
+	flag.Parse()
+
+	wls := splitList(*workloadsFlag)
+	pols := splitList(*policiesFlag)
+	ns, err := splitInts(*nFlag)
+	if err != nil {
+		fail("bad -n: " + err.Error())
+	}
+	lats, err := splitInts(*latFlag)
+	if err != nil {
+		fail("bad -latencies: " + err.Error())
+	}
+
+	model := offloadsim.DefaultEnergyModel()
+	var rows []Row
+	for _, wl := range wls {
+		prof, ok := offloadsim.WorkloadByName(wl)
+		if !ok {
+			fail(fmt.Sprintf("unknown workload %q (have: %s)", wl,
+				strings.Join(offloadsim.WorkloadNames(), ", ")))
+		}
+		baseCfg := offloadsim.DefaultConfig(prof)
+		baseCfg.Policy = offloadsim.Baseline
+		baseCfg.WarmupInstrs = *warmup
+		baseCfg.MeasureInstrs = *measure
+		baseCfg.Seed = *seed
+		baseRes, err := offloadsim.Run(baseCfg)
+		if err != nil {
+			fail(err.Error())
+		}
+		for _, pol := range pols {
+			kind, ok := parsePolicy(pol)
+			if !ok {
+				fail(fmt.Sprintf("unknown policy %q", pol))
+			}
+			for _, n := range ns {
+				for _, lat := range lats {
+					cfg := baseCfg
+					cfg.Policy = kind
+					cfg.Threshold = n
+					cfg.Migration = offloadsim.CustomMigration(lat)
+					res, err := offloadsim.Run(cfg)
+					if err != nil {
+						fail(err.Error())
+					}
+					row := Row{
+						Workload:   wl,
+						Policy:     res.Policy,
+						Threshold:  n,
+						OneWay:     lat,
+						Throughput: res.Throughput,
+						Normalized: res.Throughput / baseRes.Throughput,
+						OffloadPct: 100 * res.OffloadRate,
+						OSUtilPct:  100 * res.OSCoreUtilization,
+						UserL2Hit:  res.UserL2HitRate,
+						OSL2Hit:    res.OSL2HitRate,
+						C2C:        res.C2CTransfers,
+						QueueMean:  res.MeanQueueDelay,
+					}
+					if *energy {
+						if rep, err := offloadsim.Energy(res, model); err == nil {
+							row.Joules = rep.Joules
+							row.EDP = rep.EDP
+						}
+					}
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fail(err.Error())
+		}
+	case "csv":
+		writeCSV(rows, *energy)
+	default:
+		fail("format must be csv or json")
+	}
+}
+
+func writeCSV(rows []Row, energy bool) {
+	head := "workload,policy,threshold,one_way_latency,throughput,normalized,offload_pct,os_util_pct,user_l2_hit,os_l2_hit,c2c_transfers,queue_mean_cyc"
+	if energy {
+		head += ",joules,edp"
+	}
+	fmt.Println(head)
+	for _, r := range rows {
+		fmt.Printf("%s,%s,%d,%d,%.6f,%.4f,%.2f,%.2f,%.4f,%.4f,%d,%.1f",
+			r.Workload, r.Policy, r.Threshold, r.OneWay, r.Throughput,
+			r.Normalized, r.OffloadPct, r.OSUtilPct, r.UserL2Hit, r.OSL2Hit,
+			r.C2C, r.QueueMean)
+		if energy {
+			fmt.Printf(",%.6g,%.6g", r.Joules, r.EDP)
+		}
+		fmt.Println()
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePolicy(s string) (offloadsim.PolicyKind, bool) {
+	switch strings.ToLower(s) {
+	case "baseline", "none":
+		return offloadsim.Baseline, true
+	case "si", "static":
+		return offloadsim.StaticInstrumentation, true
+	case "di", "dynamic":
+		return offloadsim.DynamicInstrumentation, true
+	case "hi", "hardware":
+		return offloadsim.HardwarePredictor, true
+	case "oracle":
+		return offloadsim.OraclePolicy, true
+	}
+	return 0, false
+}
+
+func fail(msg string) {
+	fmt.Fprintf(os.Stderr, "sweep: %s\n", msg)
+	os.Exit(2)
+}

@@ -1,0 +1,53 @@
+// Capacity planning: how many user cores can share one OS core?
+// Reproduces the paper's §V-C scaling study: with aggressive off-loading
+// (N=100) the OS core's utilization climbs quickly, queuing delay grows
+// superlinearly with the user-core count, and per-core throughput decays —
+// the basis for the paper's conclusion that 1:1 (or at most 2:1)
+// provisioning is appropriate.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"offloadsim"
+)
+
+func main() {
+	prof, ok := offloadsim.WorkloadByName("specjbb")
+	if !ok {
+		log.Fatal("specjbb profile missing")
+	}
+
+	fmt.Printf("workload: %s (%s)\n", prof.Name, prof.Description)
+	fmt.Printf("policy:   HI, N=100, 1,000-cycle one-way migration, one shared OS core\n\n")
+	fmt.Printf("%-8s %-10s %-10s %-12s %-10s %-12s\n",
+		"cores", "agg tput", "per-core", "queue mean", "queue max", "OS core busy")
+
+	var oneCore float64
+	for _, cores := range []int{1, 2, 4, 8} {
+		cfg := offloadsim.DefaultConfig(prof)
+		cfg.Policy = offloadsim.HardwarePredictor
+		cfg.Threshold = 100
+		cfg.Migration = offloadsim.CustomMigration(1000)
+		cfg.UserCores = cores
+		cfg.WarmupInstrs = 1_000_000
+		cfg.MeasureInstrs = 1_000_000
+		res, err := offloadsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cores == 1 {
+			oneCore = res.Throughput
+		}
+		fmt.Printf("%-8d %-10.4f %-10.4f %-12.0f %-10.0f %-12s\n",
+			cores, res.Throughput, res.Throughput/float64(cores),
+			res.MeanQueueDelay, res.MaxQueueDelay,
+			fmt.Sprintf("%.1f%%", 100*res.OSCoreUtilization))
+	}
+
+	fmt.Printf("\n(1:1 aggregate = %.4f; watch per-core throughput fall and queuing\n", oneCore)
+	fmt.Printf(" delay grow as more user cores contend for the single OS core)\n")
+}

@@ -1,0 +1,70 @@
+// Energy study: the extension the paper leaves to future work. Under an
+// asymmetric-CMP power model (Mogul et al.: the OS core is a simpler,
+// lower-power design, and the user core can sleep while its OS work runs
+// remotely), off-loading can win on energy-delay product even beyond its
+// throughput gain.
+//
+//	go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"offloadsim"
+)
+
+func main() {
+	prof, ok := offloadsim.WorkloadByName("apache")
+	if !ok {
+		log.Fatal("apache profile missing")
+	}
+	model := offloadsim.DefaultEnergyModel()
+
+	type row struct {
+		name string
+		cfg  offloadsim.Config
+	}
+	mk := func(kind offloadsim.PolicyKind, n, lat int) offloadsim.Config {
+		cfg := offloadsim.DefaultConfig(prof)
+		cfg.Policy = kind
+		cfg.Threshold = n
+		cfg.Migration = offloadsim.CustomMigration(lat)
+		cfg.WarmupInstrs = 1_500_000
+		cfg.MeasureInstrs = 1_500_000
+		return cfg
+	}
+	rows := []row{
+		{"baseline (1 core)", mk(offloadsim.Baseline, 0, 0)},
+		{"HI N=100, 100cyc", mk(offloadsim.HardwarePredictor, 100, 100)},
+		{"HI N=100, 5000cyc", mk(offloadsim.HardwarePredictor, 100, 5000)},
+		{"HI N=10000, 5000cyc", mk(offloadsim.HardwarePredictor, 10000, 5000)},
+	}
+
+	fmt.Printf("workload: %s; power model: user %.1fW / OS core %.1fW @ %.1f GHz\n\n",
+		prof.Name, model.UserActiveW, model.OSActiveW, model.ClockGHz)
+	fmt.Printf("%-22s %-10s %-10s %-10s %-12s %-10s\n",
+		"configuration", "tput", "seconds", "joules", "avg watts", "EDP (J*s)")
+
+	var baseEDP float64
+	for i, r := range rows {
+		res, err := offloadsim.Run(r.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := offloadsim.Energy(res, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseEDP = rep.EDP
+		}
+		fmt.Printf("%-22s %-10.4f %-10.6f %-10.6f %-12.2f %-10.3e (%.2fx)\n",
+			r.name, res.Throughput, rep.Seconds, rep.Joules, rep.AvgWatts,
+			rep.EDP, rep.EDP/baseEDP)
+	}
+
+	fmt.Println("\nEDP below 1.00x of baseline means the off-loading configuration is a")
+	fmt.Println("net energy-delay win: the user core sleeps during migrations while the")
+	fmt.Println("cheaper OS core does the kernel's work.")
+}

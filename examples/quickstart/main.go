@@ -1,0 +1,62 @@
+// Quickstart: run the Apache-like server workload with and without the
+// paper's hardware off-loading predictor and compare throughput.
+//
+//	go run ./examples/quickstart
+//
+// Expected output: the HI configuration off-loads most system calls to
+// the OS core and delivers substantially higher throughput than the
+// single-core baseline, with the predictor reporting its run-length and
+// binary decision accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"offloadsim"
+)
+
+func main() {
+	prof, ok := offloadsim.WorkloadByName("apache")
+	if !ok {
+		log.Fatal("apache profile missing")
+	}
+
+	// Baseline: everything executes on one core with one private L2.
+	base := offloadsim.DefaultConfig(prof)
+	base.Policy = offloadsim.Baseline
+	base.WarmupInstrs = 2_000_000
+	base.MeasureInstrs = 2_000_000
+	baseRes, err := offloadsim.Run(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// HI: the hardware run-length predictor decides, threshold N=100,
+	// over the aggressive (100-cycle) migration engine.
+	hi := base
+	hi.Policy = offloadsim.HardwarePredictor
+	hi.Threshold = 100
+	hi.Migration = offloadsim.Aggressive()
+	hiRes, err := offloadsim.Run(hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%s)\n\n", prof.Name, prof.Description)
+	fmt.Printf("baseline (single core):\n")
+	fmt.Printf("  throughput        %.4f instr/cycle\n", baseRes.Throughput)
+	fmt.Printf("  user L2 hit rate  %.3f\n\n", baseRes.UserL2HitRate)
+
+	fmt.Printf("HI off-loading (N=%d, %d-cycle migration):\n", hiRes.Threshold, hiRes.OneWay)
+	fmt.Printf("  throughput        %.4f instr/cycle\n", hiRes.Throughput)
+	fmt.Printf("  speedup           %.2fx\n", hiRes.Throughput/baseRes.Throughput)
+	fmt.Printf("  OS entries        %d, off-loaded %.1f%%\n", hiRes.OSEntries, 100*hiRes.OffloadRate)
+	fmt.Printf("  OS core busy      %.1f%%\n", 100*hiRes.OSCoreUtilization)
+	fmt.Printf("  user L2 hit rate  %.3f   OS core L2 hit rate %.3f\n",
+		hiRes.UserL2HitRate, hiRes.OSL2HitRate)
+	fmt.Printf("  predictor         %.1f%% exact + %.1f%% within ±5%% (syscalls)\n",
+		100*hiRes.PredictorExact, 100*hiRes.PredictorWithin5)
+	fmt.Printf("  binary decisions  %.1f%% match the run-length oracle\n",
+		100*hiRes.BinaryAccuracy)
+}

@@ -1,0 +1,3 @@
+module offloadsim
+
+go 1.22

@@ -1,0 +1,137 @@
+package offloadsim_test
+
+import (
+	"testing"
+
+	"offloadsim"
+)
+
+// Integration tests: paper-level properties that only hold when every
+// substrate (workloads, caches, coherence, migration, predictor, policy)
+// composes correctly. Budgets are kept moderate so the suite stays fast;
+// the full-scale numbers live in EXPERIMENTS.md.
+
+func runAt(t *testing.T, workload string, kind offloadsim.PolicyKind, n, latency int) offloadsim.Result {
+	t.Helper()
+	prof, ok := offloadsim.WorkloadByName(workload)
+	if !ok {
+		t.Fatalf("workload %q missing", workload)
+	}
+	cfg := offloadsim.DefaultConfig(prof)
+	cfg.Policy = kind
+	cfg.Threshold = n
+	cfg.Migration = offloadsim.CustomMigration(latency)
+	cfg.WarmupInstrs = 600_000
+	cfg.MeasureInstrs = 600_000
+	res, err := offloadsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Off-loading must beat the single-core baseline for the OS-intensive
+// server workload when migration is cheap (§V-A's headline direction).
+func TestOffloadingBeatsBaselineOnServers(t *testing.T) {
+	base := runAt(t, "apache", offloadsim.Baseline, 0, 0)
+	hi := runAt(t, "apache", offloadsim.HardwarePredictor, 100, 100)
+	if hi.Throughput <= base.Throughput {
+		t.Fatalf("HI (%v) did not beat baseline (%v) on apache at cheap migration",
+			hi.Throughput, base.Throughput)
+	}
+}
+
+// Compute-bound workloads barely interact with the OS: off-loading must
+// be roughly performance-neutral (§V-A: the compute group clusters near
+// 1.0).
+func TestComputeWorkloadsNearNeutral(t *testing.T) {
+	base := runAt(t, "blackscholes", offloadsim.Baseline, 0, 0)
+	hi := runAt(t, "blackscholes", offloadsim.HardwarePredictor, 1000, 100)
+	ratio := hi.Throughput / base.Throughput
+	if ratio < 0.93 || ratio > 1.15 {
+		t.Fatalf("compute workload moved %vx under off-loading; expected ~1.0", ratio)
+	}
+}
+
+// The N=0 collapse (§V-A): moving *everything*, including the
+// register-window traps that write the user stack, must perform worse
+// than a small positive threshold even at zero migration cost.
+func TestNZeroCollapse(t *testing.T) {
+	n0 := runAt(t, "apache", offloadsim.HardwarePredictor, 0, 0)
+	n50 := runAt(t, "apache", offloadsim.HardwarePredictor, 50, 0)
+	if n0.Throughput >= n50.Throughput {
+		t.Fatalf("N=0 (%v) should trail N=50 (%v): trap off-loading ping-pongs the user stack",
+			n0.Throughput, n50.Throughput)
+	}
+}
+
+// Expensive migration must hurt aggressive off-loading (§V-A: "off-loading
+// latency is the dominant factor").
+func TestMigrationLatencyDominates(t *testing.T) {
+	cheap := runAt(t, "apache", offloadsim.HardwarePredictor, 100, 0)
+	dear := runAt(t, "apache", offloadsim.HardwarePredictor, 100, 5000)
+	if dear.Throughput >= cheap.Throughput {
+		t.Fatalf("5000-cycle migration (%v) not worse than free migration (%v)",
+			dear.Throughput, cheap.Throughput)
+	}
+}
+
+// The hardware policy must beat its software twin: DI pays hundreds of
+// cycles at every OS entry for the same decisions (§V-B).
+func TestHIBeatsDI(t *testing.T) {
+	hi := runAt(t, "apache", offloadsim.HardwarePredictor, 100, 100)
+	di := runAt(t, "apache", offloadsim.DynamicInstrumentation, 100, 100)
+	if hi.Throughput <= di.Throughput {
+		t.Fatalf("HI (%v) did not beat DI (%v)", hi.Throughput, di.Throughput)
+	}
+}
+
+// The predictor-driven policy must approach the perfect-information
+// oracle at the same threshold.
+func TestHINearOracle(t *testing.T) {
+	hi := runAt(t, "apache", offloadsim.HardwarePredictor, 100, 100)
+	or := runAt(t, "apache", offloadsim.OraclePolicy, 100, 100)
+	if hi.Throughput < or.Throughput*0.90 {
+		t.Fatalf("HI (%v) more than 10%% below oracle (%v)", hi.Throughput, or.Throughput)
+	}
+}
+
+// OS-core utilization must track the workload hierarchy: apache >> derby
+// (Table III).
+func TestUtilizationHierarchy(t *testing.T) {
+	ap := runAt(t, "apache", offloadsim.HardwarePredictor, 100, 1000)
+	de := runAt(t, "derby", offloadsim.HardwarePredictor, 100, 1000)
+	if ap.OSCoreUtilization <= de.OSCoreUtilization {
+		t.Fatalf("apache OS-core utilization (%v) should exceed derby's (%v)",
+			ap.OSCoreUtilization, de.OSCoreUtilization)
+	}
+}
+
+// Off-loaded OS execution must enjoy better locality at the OS core than
+// mixed execution gives the baseline: the §I "constructive interference"
+// claim, visible as a high OS-core L2 hit rate.
+func TestOSCoreLocality(t *testing.T) {
+	hi := runAt(t, "apache", offloadsim.HardwarePredictor, 100, 100)
+	if hi.OSL2HitRate < 0.6 {
+		t.Fatalf("OS core L2 hit rate %v; kernel consolidation should keep it high", hi.OSL2HitRate)
+	}
+}
+
+// Undershoot must dominate mispredictions: interrupts extend invocations
+// beyond their history, they almost never shorten them (§III-A).
+func TestMispredictionsUndershoot(t *testing.T) {
+	prof, _ := offloadsim.WorkloadByName("apache")
+	cfg := offloadsim.DefaultConfig(prof)
+	cfg.Policy = offloadsim.HardwarePredictor
+	cfg.Threshold = 100
+	cfg.WarmupInstrs = 600_000
+	cfg.MeasureInstrs = 1_200_000
+	cfg.ColdPredictor = true // judge the raw mechanism, no priming
+	res, err := offloadsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PredictorExact+res.PredictorWithin5 < 0.6 {
+		t.Fatalf("syscall accuracy %v too low", res.PredictorExact+res.PredictorWithin5)
+	}
+}

@@ -1,0 +1,421 @@
+// Package cache implements the set-associative cache arrays of the
+// simulated memory hierarchy. A Cache models one tag/state array (an L1-I,
+// L1-D or private L2); the directory-based coherence protocol that moves
+// lines *between* caches lives in package coherence and manipulates line
+// states through this package's API.
+//
+// The baseline configuration follows the paper's Table II: 32 KB 2-way L1s
+// with 1-cycle access, 1 MB 16-way L2 with 12-cycle access, 64 B lines
+// everywhere.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"offloadsim/internal/rng"
+	"offloadsim/internal/stats"
+)
+
+// State is the MESI coherence state of a cached line. L1 caches only use
+// Invalid/Shared/Modified (the E state is tracked at the L2/directory
+// level); the extra state costs nothing here.
+type State uint8
+
+const (
+	// Invalid: the line is not present.
+	Invalid State = iota
+	// Shared: clean, potentially replicated in other caches.
+	Shared
+	// Exclusive: clean, guaranteed to be the only copy.
+	Exclusive
+	// Modified: dirty, guaranteed to be the only copy.
+	Modified
+	// Owned: dirty but replicated — this cache is responsible for
+	// supplying the line and eventually writing it back (MOESI only).
+	Owned
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Owned:
+		return "O"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// ReplacementPolicy selects a victim way within a set.
+type ReplacementPolicy int
+
+const (
+	// LRU evicts the least recently used way (the paper's baseline).
+	LRU ReplacementPolicy = iota
+	// Random evicts a uniformly random way.
+	Random
+	// TreePLRU approximates LRU with a binary decision tree, the common
+	// hardware implementation for high associativity.
+	TreePLRU
+)
+
+// String implements fmt.Stringer.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Random:
+		return "random"
+	case TreePLRU:
+		return "tree-plru"
+	}
+	return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+}
+
+// Config describes one cache array.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Ways       int
+	HitLatency int // cycles for a hit in this array
+	Policy     ReplacementPolicy
+}
+
+// Validate checks structural sanity: power-of-two geometry and at least
+// one set.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry", c.Name)
+	}
+	if bits.OnesCount(uint(c.LineBytes)) != 1 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by %d-way x %dB lines",
+			c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("cache %q: negative hit latency", c.Name)
+	}
+	return nil
+}
+
+// Stats aggregates the per-array event counters the experiments consume.
+type Stats struct {
+	Accesses   stats.Counter
+	Hits       stats.Counter
+	Misses     stats.Counter
+	Evictions  stats.Counter
+	Writebacks stats.Counter // dirty victims pushed down/out
+	Backinvals stats.Counter // invalidations arriving from coherence
+}
+
+// HitRate returns hits/accesses.
+func (s *Stats) HitRate() float64 {
+	return stats.Ratio(s.Hits.Value(), s.Accesses.Value())
+}
+
+// Reset clears all counters (used at epoch boundaries by the tuner).
+func (s *Stats) Reset() {
+	s.Accesses.Reset()
+	s.Hits.Reset()
+	s.Misses.Reset()
+	s.Evictions.Reset()
+	s.Writebacks.Reset()
+	s.Backinvals.Reset()
+}
+
+type line struct {
+	tag     uint64 // full line address (addr >> lineShift); tag+index in one
+	state   State
+	lastUse uint64 // generation stamp for LRU
+}
+
+// Cache is one set-associative tag/state array. It is deliberately a
+// *bookkeeping* structure: it records presence and MESI state and chooses
+// victims, while latency composition and inter-cache movement are the
+// callers' business.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	sets      [][]line
+	plru      [][]bool // per-set PLRU tree nodes (Ways-1 nodes)
+	gen       uint64
+	rnd       *rng.Source
+
+	Stats Stats
+}
+
+// New constructs a cache from cfg. The rnd source is only used by the
+// Random policy and may be nil otherwise.
+func New(cfg Config, rnd *rng.Source) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == Random && rnd == nil {
+		return nil, fmt.Errorf("cache %q: random policy requires an rng source", cfg.Name)
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(nSets - 1),
+		sets:      make([][]line, nSets),
+		rnd:       rnd,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	if cfg.Policy == TreePLRU {
+		c.plru = make([][]bool, nSets)
+		for i := range c.plru {
+			// Node 0 is unused; a complete path over a non-power-of-two
+			// way count can reach index 2*Ways-1.
+			c.plru[i] = make([]bool, 2*cfg.Ways)
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on config errors; for fixed baseline configs.
+func MustNew(cfg Config, rnd *rng.Source) *Cache {
+	c, err := New(cfg, rnd)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// LineAddr converts a byte address to a line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+func (c *Cache) setIndex(lineAddr uint64) int { return int(lineAddr & c.setMask) }
+
+// Lookup returns the state of the line containing addr (line-address
+// domain) without updating replacement metadata or counters. Invalid means
+// absent.
+func (c *Cache) Lookup(lineAddr uint64) State {
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// Touch records a use of the line for replacement purposes and counts a
+// hit. It must only be called when the line is present.
+func (c *Cache) Touch(lineAddr uint64) {
+	si := c.setIndex(lineAddr)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			c.gen++
+			set[i].lastUse = c.gen
+			c.updatePLRU(si, i)
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache %q: Touch of absent line %#x", c.cfg.Name, lineAddr))
+}
+
+// SetState transitions the MESI state of a present line (e.g. S->M on an
+// upgrade, M->S on a downgrade from the directory). It panics if the line
+// is absent — state changes on absent lines indicate a protocol bug.
+func (c *Cache) SetState(lineAddr uint64, st State) {
+	if st == Invalid {
+		c.Invalidate(lineAddr)
+		return
+	}
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			set[i].state = st
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache %q: SetState(%v) of absent line %#x", c.cfg.Name, st, lineAddr))
+}
+
+// Invalidate removes the line if present and returns its previous state.
+// Used both for coherence invalidations and for inclusive back-invalidates.
+func (c *Cache) Invalidate(lineAddr uint64) State {
+	set := c.sets[c.setIndex(lineAddr)]
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			prev := set[i].state
+			set[i].state = Invalid
+			c.Stats.Backinvals.Inc()
+			return prev
+		}
+	}
+	return Invalid
+}
+
+// Victim describes a line displaced by Allocate.
+type Victim struct {
+	LineAddr uint64
+	State    State
+}
+
+// Allocate inserts lineAddr in state st, choosing and returning a victim
+// if the set was full. A returned Victim with State != Invalid must be
+// handled by the caller (writeback for Modified, directory notification
+// for all). Allocating an already-present line just updates its state.
+func (c *Cache) Allocate(lineAddr uint64, st State) (Victim, bool) {
+	if st == Invalid {
+		panic(fmt.Sprintf("cache %q: Allocate in Invalid state", c.cfg.Name))
+	}
+	si := c.setIndex(lineAddr)
+	set := c.sets[si]
+	// Already present: refresh.
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			set[i].state = st
+			c.gen++
+			set[i].lastUse = c.gen
+			c.updatePLRU(si, i)
+			return Victim{}, false
+		}
+	}
+	// Free way?
+	for i := range set {
+		if set[i].state == Invalid {
+			c.fill(si, i, lineAddr, st)
+			return Victim{}, false
+		}
+	}
+	// Evict.
+	vi := c.chooseVictim(si)
+	v := Victim{LineAddr: set[vi].tag, State: set[vi].state}
+	c.Stats.Evictions.Inc()
+	if v.State == Modified || v.State == Owned {
+		c.Stats.Writebacks.Inc()
+	}
+	c.fill(si, vi, lineAddr, st)
+	return v, true
+}
+
+func (c *Cache) fill(si, way int, lineAddr uint64, st State) {
+	c.gen++
+	c.sets[si][way] = line{tag: lineAddr, state: st, lastUse: c.gen}
+	c.updatePLRU(si, way)
+}
+
+func (c *Cache) chooseVictim(si int) int {
+	switch c.cfg.Policy {
+	case Random:
+		return c.rnd.Intn(c.cfg.Ways)
+	case TreePLRU:
+		return c.plruVictim(si)
+	default: // LRU
+		set := c.sets[si]
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[best].lastUse {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// updatePLRU marks the path to `way` as most-recently-used: at each tree
+// node on the path, point the bit *away* from the accessed half.
+func (c *Cache) updatePLRU(si, way int) {
+	if c.cfg.Policy != TreePLRU {
+		return
+	}
+	nodes := c.plru[si]
+	node := 1
+	lo, hi := 0, c.cfg.Ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if way < mid {
+			nodes[node] = true // true: next victim search goes right
+			node = 2 * node
+			hi = mid
+		} else {
+			nodes[node] = false
+			node = 2*node + 1
+			lo = mid
+		}
+	}
+}
+
+// plruVictim walks the tree following the victim pointers.
+func (c *Cache) plruVictim(si int) int {
+	nodes := c.plru[si]
+	node := 1
+	lo, hi := 0, c.cfg.Ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if nodes[node] { // go right
+			node = 2*node + 1
+			lo = mid
+		} else {
+			node = 2 * node
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Occupancy returns the number of valid lines, for diagnostics and tests.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ForEachValid calls fn for every valid line (diagnostics / invariant
+// checking in tests).
+func (c *Cache) ForEachValid(fn func(lineAddr uint64, st State)) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state != Invalid {
+				fn(set[i].tag, set[i].state)
+			}
+		}
+	}
+}
+
+// Flush invalidates every line, returning how many were dirty. Used when a
+// simulated workload is reset between epochs in tests.
+func (c *Cache) Flush() (dirty int) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state == Modified || set[i].state == Owned {
+				dirty++
+			}
+			set[i].state = Invalid
+		}
+	}
+	return dirty
+}

@@ -1,0 +1,633 @@
+// Package coherence implements the directory-based MESI protocol that
+// keeps the simulated private L2 caches coherent (§IV: "two such cores
+// with private L2s which are kept coherent via a directory based protocol
+// and a simple point-to-point interconnect fabric ... Our system models
+// directory lookup, cache-to-cache transfers, and coherence invalidation
+// overheads independently").
+//
+// The System owns the per-node L2 arrays, the directory, the fabric and
+// main memory. Cores call Read/Write with their node id and a line
+// address; the returned latency folds in L2 access, directory lookup,
+// cache-to-cache forwarding, invalidation round trips and memory fills.
+// Inclusive L1s are kept consistent through registered back-invalidation
+// hooks.
+//
+// This protocol is the load-bearing substrate for the paper's key result:
+// the N=0 collapse in Figure 4 is caused by user/OS shared lines
+// ping-ponging between the user core's and OS core's caches, and that
+// cost emerges here, not from any hard-coded penalty.
+package coherence
+
+import (
+	"fmt"
+
+	"offloadsim/internal/cache"
+	"offloadsim/internal/interconnect"
+	"offloadsim/internal/memory"
+	"offloadsim/internal/rng"
+	"offloadsim/internal/stats"
+)
+
+// Protocol selects the coherence protocol family.
+type Protocol int
+
+const (
+	// MESI is the paper's baseline: a dirty line read by another cache
+	// is written back to memory and shared clean.
+	MESI Protocol = iota
+	// MOESI adds the Owned state: a dirty line can be shared without a
+	// memory writeback, with the owner responsible for supplying it and
+	// writing it back on eviction. Provided as an ablation of the
+	// coherence cost off-loading pays for user/OS shared data.
+	MOESI
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	if p == MOESI {
+		return "MOESI"
+	}
+	return "MESI"
+}
+
+// dirState is the directory's view of a line.
+type dirState uint8
+
+const (
+	dirUncached dirState = iota
+	dirShared
+	dirExclusive // E or M at the owner; the owner upgrades E->M silently
+	dirOwned     // MOESI: dirty at the owner, replicated among sharers
+)
+
+// dirEntry tracks one line. Entries are created lazily on first touch and
+// removed when the line returns to uncached, keeping the map proportional
+// to the aggregate cached footprint.
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers uint64 // bitmask over nodes; used in dirShared
+}
+
+// Config assembles a coherent multi-node memory system.
+type Config struct {
+	// NumNodes is the number of private-L2 nodes (user cores + OS core).
+	NumNodes int
+	// Protocol selects MESI (paper baseline) or MOESI.
+	Protocol Protocol
+	// L2 is the per-node L2 geometry. Name is suffixed with the node id.
+	L2 cache.Config
+	// DirectoryLatency is the directory lookup/update cost in cycles.
+	DirectoryLatency int
+	// Fabric times the point-to-point messages.
+	Fabric interconnect.Config
+	// Memory is the backing store model.
+	Memory memory.Config
+}
+
+// DefaultL2Config returns the paper's Table II L2: 1 MB, 16-way, 12-cycle,
+// 64 B lines.
+func DefaultL2Config() cache.Config {
+	return cache.Config{
+		Name:       "L2",
+		SizeBytes:  1 << 20,
+		LineBytes:  64,
+		Ways:       16,
+		HitLatency: 12,
+		Policy:     cache.LRU,
+	}
+}
+
+// DefaultConfig returns a two-node (user + OS core) Table II system.
+func DefaultConfig() Config {
+	return Config{
+		NumNodes:         2,
+		L2:               DefaultL2Config(),
+		DirectoryLatency: 10,
+		Fabric:           interconnect.DefaultConfig(),
+		Memory:           memory.DefaultConfig(),
+	}
+}
+
+// Validate checks the composite configuration.
+func (c Config) Validate() error {
+	if c.NumNodes < 1 || c.NumNodes > 64 {
+		return fmt.Errorf("coherence: NumNodes %d out of [1,64]", c.NumNodes)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if c.DirectoryLatency < 0 {
+		return fmt.Errorf("coherence: negative directory latency")
+	}
+	if err := c.Fabric.Validate(); err != nil {
+		return err
+	}
+	return c.Memory.Validate()
+}
+
+// Stats aggregates protocol-level events across the system.
+type Stats struct {
+	DirLookups      stats.Counter
+	C2CTransfers    stats.Counter // lines supplied cache-to-cache
+	DirtyC2C        stats.Counter // c2c transfers of Modified data
+	Invalidations   stats.Counter // individual invalidation messages
+	UpgradeMisses   stats.Counter // S->M upgrades
+	MemoryFills     stats.Counter
+	CoherenceMisses stats.Counter // misses served by another cache
+}
+
+// System is the coherent memory system shared by all simulated cores.
+type System struct {
+	cfg     Config
+	l2s     []*cache.Cache
+	dir     map[uint64]*dirEntry
+	fabric  *interconnect.Fabric
+	mem     *memory.Memory
+	l1Hooks [][]func(lineAddr uint64)
+
+	Stats Stats
+}
+
+// New builds the system. The rnd source seeds per-L2 replacement streams
+// when the configured policy needs one.
+func New(cfg Config, rnd *rng.Source) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:     cfg,
+		dir:     make(map[uint64]*dirEntry),
+		fabric:  interconnect.New(cfg.Fabric),
+		mem:     memory.New(cfg.Memory),
+		l1Hooks: make([][]func(uint64), cfg.NumNodes),
+	}
+	for i := 0; i < cfg.NumNodes; i++ {
+		l2cfg := cfg.L2
+		l2cfg.Name = fmt.Sprintf("%s%d", cfg.L2.Name, i)
+		var src *rng.Source
+		if l2cfg.Policy == cache.Random {
+			if rnd == nil {
+				return nil, fmt.Errorf("coherence: random L2 policy requires rng")
+			}
+			src = rnd.Fork()
+		}
+		l2, err := cache.New(l2cfg, src)
+		if err != nil {
+			return nil, err
+		}
+		s.l2s = append(s.l2s, l2)
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error, for fixed experiment configs.
+func MustNew(cfg Config, rnd *rng.Source) *System {
+	s, err := New(cfg, rnd)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// NumNodes returns the node count.
+func (s *System) NumNodes() int { return s.cfg.NumNodes }
+
+// L2 exposes node n's L2 array (for stats collection and tests).
+func (s *System) L2(n int) *cache.Cache { return s.l2s[n] }
+
+// Memory exposes the backing store (for stats).
+func (s *System) Memory() *memory.Memory { return s.mem }
+
+// Fabric exposes the interconnect (for stats).
+func (s *System) Fabric() *interconnect.Fabric { return s.fabric }
+
+// RegisterL1Hook attaches a back-invalidation callback for node. Whenever a
+// line leaves node's L2 (eviction or coherence invalidation), every hook on
+// that node is called so inclusive L1s can drop it.
+func (s *System) RegisterL1Hook(node int, hook func(lineAddr uint64)) {
+	s.l1Hooks[node] = append(s.l1Hooks[node], hook)
+}
+
+func (s *System) backInvalidate(node int, lineAddr uint64) {
+	for _, h := range s.l1Hooks[node] {
+		h(lineAddr)
+	}
+}
+
+// LineBytes returns the coherence granularity.
+func (s *System) LineBytes() int { return s.cfg.L2.LineBytes }
+
+// LineAddr converts a byte address to a line address.
+func (s *System) LineAddr(addr uint64) uint64 {
+	return s.l2s[0].LineAddr(addr)
+}
+
+func (s *System) entry(lineAddr uint64) *dirEntry {
+	e := s.dir[lineAddr]
+	if e == nil {
+		e = &dirEntry{state: dirUncached}
+		s.dir[lineAddr] = e
+	}
+	return e
+}
+
+func (s *System) dropIfUncached(lineAddr uint64, e *dirEntry) {
+	if e.state == dirUncached || (e.state == dirShared && e.sharers == 0) {
+		delete(s.dir, lineAddr)
+	}
+}
+
+// handleVictim processes an L2 eviction at node: directory bookkeeping,
+// posted writeback for dirty victims, and L1 back-invalidation to preserve
+// inclusion.
+func (s *System) handleVictim(node int, v cache.Victim) {
+	e := s.dir[v.LineAddr]
+	if e != nil {
+		switch e.state {
+		case dirShared:
+			e.sharers &^= 1 << uint(node)
+			if e.sharers == 0 {
+				e.state = dirUncached
+			}
+		case dirExclusive:
+			if e.owner == node {
+				e.state = dirUncached
+			}
+		case dirOwned:
+			e.sharers &^= 1 << uint(node)
+			if node == e.owner {
+				// The dirty owner leaves: its writeback cleans memory,
+				// and the remaining copies (if any) are plain Shared.
+				if e.sharers == 0 {
+					e.state = dirUncached
+				} else {
+					e.state = dirShared
+				}
+			}
+			// A departing non-owner sharer leaves the owner (still
+			// dirty) in place; the entry stays dirOwned.
+		}
+		s.dropIfUncached(v.LineAddr, e)
+	}
+	if v.State == cache.Modified || v.State == cache.Owned {
+		s.mem.Writeback()
+	}
+	s.backInvalidate(node, v.LineAddr)
+}
+
+// Read performs a coherent read of lineAddr by node and returns the access
+// latency in cycles. The bool result reports whether the L2 hit.
+func (s *System) Read(node int, lineAddr uint64) (latency int, hit bool) {
+	l2 := s.l2s[node]
+	l2.Stats.Accesses.Inc()
+	if st := l2.Lookup(lineAddr); st != cache.Invalid {
+		l2.Stats.Hits.Inc()
+		l2.Touch(lineAddr)
+		return l2.Config().HitLatency, true
+	}
+	l2.Stats.Misses.Inc()
+
+	// Tag check, then a directory transaction over the fabric.
+	lat := l2.Config().HitLatency
+	lat += s.fabric.Send(interconnect.ReqMsg, 1)
+	lat += s.cfg.DirectoryLatency
+	s.Stats.DirLookups.Inc()
+
+	e := s.entry(lineAddr)
+	var fill cache.State
+	switch e.state {
+	case dirUncached:
+		lat += s.mem.Read()
+		s.Stats.MemoryFills.Inc()
+		lat += s.fabric.Send(interconnect.DataMsg, 1)
+		fill = cache.Exclusive
+		e.state = dirExclusive
+		e.owner = node
+		e.sharers = 0
+
+	case dirShared:
+		// Clean shared data is supplied by memory; sharers keep their
+		// copies.
+		lat += s.mem.Read()
+		s.Stats.MemoryFills.Inc()
+		lat += s.fabric.Send(interconnect.DataMsg, 1)
+		fill = cache.Shared
+		e.sharers |= 1 << uint(node)
+
+	case dirExclusive:
+		// Forward to the owner, which supplies the line cache-to-cache.
+		owner := e.owner
+		lat += s.fabric.Send(interconnect.FwdMsg, 1)
+		lat += s.l2s[owner].Config().HitLatency
+		ost := s.l2s[owner].Lookup(lineAddr)
+		if ost == cache.Invalid {
+			panic(fmt.Sprintf("coherence: directory owner %d lacks line %#x", owner, lineAddr))
+		}
+		lat += s.fabric.Send(interconnect.DataMsg, 1)
+		s.Stats.C2CTransfers.Inc()
+		s.Stats.CoherenceMisses.Inc()
+		fill = cache.Shared
+		if ost == cache.Modified {
+			s.Stats.DirtyC2C.Inc()
+			if s.cfg.Protocol == MOESI {
+				// MOESI: the owner keeps the dirty line in Owned and
+				// remains responsible for it — no memory writeback.
+				s.l2s[owner].SetState(lineAddr, cache.Owned)
+				e.state = dirOwned
+				e.owner = owner
+				e.sharers = (1 << uint(owner)) | (1 << uint(node))
+				break
+			}
+			// MESI: dirty data is written back (posted) and shared clean.
+			s.mem.Writeback()
+		}
+		s.l2s[owner].SetState(lineAddr, cache.Shared)
+		e.state = dirShared
+		e.sharers = (1 << uint(owner)) | (1 << uint(node))
+
+	case dirOwned:
+		// MOESI: the owner supplies the dirty line; the requester joins
+		// the sharer set.
+		owner := e.owner
+		lat += s.fabric.Send(interconnect.FwdMsg, 1)
+		lat += s.l2s[owner].Config().HitLatency
+		if s.l2s[owner].Lookup(lineAddr) != cache.Owned {
+			panic(fmt.Sprintf("coherence: recorded owner %d does not hold %#x in O", owner, lineAddr))
+		}
+		lat += s.fabric.Send(interconnect.DataMsg, 1)
+		s.Stats.C2CTransfers.Inc()
+		s.Stats.DirtyC2C.Inc()
+		s.Stats.CoherenceMisses.Inc()
+		fill = cache.Shared
+		e.sharers |= 1 << uint(node)
+	}
+
+	if v, evicted := l2.Allocate(lineAddr, fill); evicted {
+		s.handleVictim(node, v)
+	}
+	return lat, false
+}
+
+// Write performs a coherent write of lineAddr by node and returns the
+// access latency. The bool result reports whether the L2 hit with write
+// permission already held.
+func (s *System) Write(node int, lineAddr uint64) (latency int, hit bool) {
+	l2 := s.l2s[node]
+	l2.Stats.Accesses.Inc()
+	switch l2.Lookup(lineAddr) {
+	case cache.Modified:
+		l2.Stats.Hits.Inc()
+		l2.Touch(lineAddr)
+		return l2.Config().HitLatency, true
+	case cache.Exclusive:
+		// Silent E->M upgrade; the directory already records exclusivity.
+		l2.Stats.Hits.Inc()
+		l2.Touch(lineAddr)
+		l2.SetState(lineAddr, cache.Modified)
+		return l2.Config().HitLatency, true
+	case cache.Shared:
+		// Upgrade miss: invalidate the other sharers (in MOESI this may
+		// include an Owned copy; dirty ownership migrates to the writer
+		// with no writeback, since all sharers hold the same data).
+		l2.Stats.Misses.Inc()
+		s.Stats.UpgradeMisses.Inc()
+		lat := l2.Config().HitLatency
+		lat += s.fabric.Send(interconnect.ReqMsg, 1)
+		lat += s.cfg.DirectoryLatency
+		s.Stats.DirLookups.Inc()
+		e := s.entry(lineAddr)
+		lat += s.invalidateSharers(e, node, lineAddr)
+		e.state = dirExclusive
+		e.owner = node
+		e.sharers = 0
+		l2.Touch(lineAddr)
+		l2.SetState(lineAddr, cache.Modified)
+		return lat, false
+	case cache.Owned:
+		// MOESI: the owner writes its own dirty shared line — invalidate
+		// the other sharers and move O->M locally.
+		l2.Stats.Misses.Inc()
+		s.Stats.UpgradeMisses.Inc()
+		lat := l2.Config().HitLatency
+		lat += s.fabric.Send(interconnect.ReqMsg, 1)
+		lat += s.cfg.DirectoryLatency
+		s.Stats.DirLookups.Inc()
+		e := s.entry(lineAddr)
+		lat += s.invalidateSharers(e, node, lineAddr)
+		e.state = dirExclusive
+		e.owner = node
+		e.sharers = 0
+		l2.Touch(lineAddr)
+		l2.SetState(lineAddr, cache.Modified)
+		return lat, false
+	}
+	// Write miss.
+	l2.Stats.Misses.Inc()
+	lat := l2.Config().HitLatency
+	lat += s.fabric.Send(interconnect.ReqMsg, 1)
+	lat += s.cfg.DirectoryLatency
+	s.Stats.DirLookups.Inc()
+
+	e := s.entry(lineAddr)
+	switch e.state {
+	case dirUncached:
+		lat += s.mem.Read()
+		s.Stats.MemoryFills.Inc()
+		lat += s.fabric.Send(interconnect.DataMsg, 1)
+
+	case dirShared:
+		// Invalidate all sharers, fill from memory.
+		lat += s.invalidateSharers(e, node, lineAddr)
+		lat += s.mem.Read()
+		s.Stats.MemoryFills.Inc()
+		lat += s.fabric.Send(interconnect.DataMsg, 1)
+		s.Stats.CoherenceMisses.Inc()
+
+	case dirExclusive:
+		// Transfer ownership: the current owner invalidates its copy and
+		// forwards the (possibly dirty) line.
+		owner := e.owner
+		lat += s.fabric.Send(interconnect.FwdMsg, 1)
+		lat += s.l2s[owner].Config().HitLatency
+		ost := s.l2s[owner].Lookup(lineAddr)
+		if ost == cache.Invalid {
+			panic(fmt.Sprintf("coherence: directory owner %d lacks line %#x", owner, lineAddr))
+		}
+		if ost == cache.Modified {
+			s.Stats.DirtyC2C.Inc()
+		}
+		s.l2s[owner].Invalidate(lineAddr)
+		s.backInvalidate(owner, lineAddr)
+		s.Stats.Invalidations.Inc()
+		lat += s.fabric.Send(interconnect.DataMsg, 1)
+		s.Stats.C2CTransfers.Inc()
+		s.Stats.CoherenceMisses.Inc()
+
+	case dirOwned:
+		// MOESI write miss: the owner forwards its dirty line and every
+		// holder invalidates; dirty ownership moves to the writer.
+		owner := e.owner
+		lat += s.fabric.Send(interconnect.FwdMsg, 1)
+		lat += s.l2s[owner].Config().HitLatency
+		if s.l2s[owner].Lookup(lineAddr) != cache.Owned {
+			panic(fmt.Sprintf("coherence: recorded owner %d does not hold %#x in O", owner, lineAddr))
+		}
+		s.Stats.DirtyC2C.Inc()
+		lat += s.invalidateSharers(e, node, lineAddr)
+		lat += s.fabric.Send(interconnect.DataMsg, 1)
+		s.Stats.C2CTransfers.Inc()
+		s.Stats.CoherenceMisses.Inc()
+	}
+	e.state = dirExclusive
+	e.owner = node
+	e.sharers = 0
+
+	if v, evicted := l2.Allocate(lineAddr, cache.Modified); evicted {
+		s.handleVictim(node, v)
+	}
+	return lat, false
+}
+
+// invalidateSharers sends invalidations to every sharer except requester
+// (including an Owned copy under MOESI), charging one round trip
+// (invalidations proceed in parallel) and counting each message.
+func (s *System) invalidateSharers(e *dirEntry, requester int, lineAddr uint64) int {
+	lat := 0
+	any := false
+	for n := 0; n < s.cfg.NumNodes; n++ {
+		if n == requester || e.sharers&(1<<uint(n)) == 0 {
+			continue
+		}
+		s.l2s[n].Invalidate(lineAddr)
+		s.backInvalidate(n, lineAddr)
+		s.fabric.Send(interconnect.InvMsg, 1)
+		s.fabric.Send(interconnect.AckMsg, 1)
+		s.Stats.Invalidations.Inc()
+		any = true
+	}
+	if any {
+		// Parallel round trip: one inv hop out, one ack hop back.
+		lat = 2 * (s.cfg.Fabric.RouterLatency + s.cfg.Fabric.LinkLatency)
+	}
+	return lat
+}
+
+// CheckInvariants validates the protocol's global invariants against the
+// actual cache contents. It is O(cached lines) and intended for tests and
+// debug builds; it returns an error describing the first violation found.
+func (s *System) CheckInvariants() error {
+	// Gather per-line presence from the caches.
+	type presence struct {
+		nodes  []int
+		states []cache.State
+	}
+	lines := map[uint64]*presence{}
+	for n, l2 := range s.l2s {
+		n := n
+		l2.ForEachValid(func(la uint64, st cache.State) {
+			p := lines[la]
+			if p == nil {
+				p = &presence{}
+				lines[la] = p
+			}
+			p.nodes = append(p.nodes, n)
+			p.states = append(p.states, st)
+		})
+	}
+	for la, p := range lines {
+		mCount, eCount, oCount := 0, 0, 0
+		for _, st := range p.states {
+			switch st {
+			case cache.Modified:
+				mCount++
+			case cache.Exclusive:
+				eCount++
+			case cache.Owned:
+				oCount++
+			}
+		}
+		if mCount+eCount > 1 || (mCount+eCount == 1 && len(p.nodes) > 1) {
+			return fmt.Errorf("line %#x: exclusive/modified copy coexists with others (%v)", la, p.states)
+		}
+		if oCount > 1 || (oCount == 1 && mCount+eCount > 0) {
+			return fmt.Errorf("line %#x: invalid Owned combination (%v)", la, p.states)
+		}
+		if oCount == 1 && s.cfg.Protocol != MOESI {
+			return fmt.Errorf("line %#x: Owned state under MESI", la)
+		}
+		e := s.dir[la]
+		if e == nil {
+			return fmt.Errorf("line %#x cached at %v but unknown to directory", la, p.nodes)
+		}
+		switch e.state {
+		case dirExclusive:
+			if len(p.nodes) != 1 || p.nodes[0] != e.owner {
+				return fmt.Errorf("line %#x: directory says exclusive@%d, caches say %v", la, e.owner, p.nodes)
+			}
+		case dirShared:
+			for _, n := range p.nodes {
+				if e.sharers&(1<<uint(n)) == 0 {
+					return fmt.Errorf("line %#x: node %d holds line but is not a recorded sharer", la, n)
+				}
+			}
+		case dirOwned:
+			if s.l2s[e.owner].Lookup(la) != cache.Owned {
+				return fmt.Errorf("line %#x: directory says owned@%d but that cache holds %v",
+					la, e.owner, s.l2s[e.owner].Lookup(la))
+			}
+			for _, n := range p.nodes {
+				if e.sharers&(1<<uint(n)) == 0 {
+					return fmt.Errorf("line %#x: node %d holds owned line but is not recorded", la, n)
+				}
+			}
+		case dirUncached:
+			return fmt.Errorf("line %#x: directory says uncached but cached at %v", la, p.nodes)
+		}
+	}
+	// Directory must not claim presence the caches lack.
+	for la, e := range s.dir {
+		switch e.state {
+		case dirExclusive:
+			if s.l2s[e.owner].Lookup(la) == cache.Invalid {
+				return fmt.Errorf("line %#x: directory owner %d has no copy", la, e.owner)
+			}
+		case dirShared, dirOwned:
+			for n := 0; n < s.cfg.NumNodes; n++ {
+				if e.sharers&(1<<uint(n)) != 0 && s.l2s[n].Lookup(la) == cache.Invalid {
+					return fmt.Errorf("line %#x: recorded sharer %d has no copy", la, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DirectorySize returns the number of tracked lines (diagnostics).
+func (s *System) DirectorySize() int { return len(s.dir) }
+
+// ResetStats clears protocol, fabric, memory and per-L2 counters while
+// preserving cache contents — used at epoch boundaries.
+func (s *System) ResetStats() {
+	s.Stats = Stats{}
+	s.fabric.Reset()
+	s.mem.Reset()
+	for _, l2 := range s.l2s {
+		l2.Stats.Reset()
+	}
+}
+
+// AggregateL2HitRate returns the hit rate across a set of nodes, the
+// feedback metric §III-B uses for dynamic threshold estimation ("the L2
+// cache hit rate of both the OS and user processors, averaged together").
+func (s *System) AggregateL2HitRate(nodes []int) float64 {
+	var hits, accesses uint64
+	for _, n := range nodes {
+		hits += s.l2s[n].Stats.Hits.Value()
+		accesses += s.l2s[n].Stats.Accesses.Value()
+	}
+	return stats.Ratio(hits, accesses)
+}

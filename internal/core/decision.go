@@ -1,0 +1,78 @@
+package core
+
+import "offloadsim/internal/stats"
+
+// Decision is the binary off-load verdict derived from a run-length
+// prediction (§III: "a system call will be off-loaded if it is expected to
+// last longer than a specified threshold, N cycles").
+type Decision struct {
+	Offload   bool
+	Predicted int
+	Source    PredictionSource
+}
+
+// Engine couples a Predictor with a threshold to produce single-cycle
+// off-load decisions, and keeps the books needed to reproduce Figure 3
+// (binary decision accuracy per threshold).
+type Engine struct {
+	pred      Predictor
+	threshold int
+
+	binTotal   stats.Counter
+	binCorrect stats.Counter
+}
+
+// NewEngine wraps pred with an initial threshold n.
+func NewEngine(pred Predictor, n int) *Engine {
+	return &Engine{pred: pred, threshold: n}
+}
+
+// Predictor returns the wrapped predictor.
+func (e *Engine) Predictor() Predictor { return e.pred }
+
+// Threshold returns the current N.
+func (e *Engine) Threshold() int { return e.threshold }
+
+// SetThreshold updates N (the dynamic tuner calls this at epoch
+// boundaries).
+func (e *Engine) SetThreshold(n int) { e.threshold = n }
+
+// Decide produces the off-load verdict for an OS entry with register hash
+// astate. In hardware this is the predictor lookup plus one comparison —
+// the single-cycle path the paper contrasts with tens-to-hundreds of
+// cycles of software instrumentation.
+func (e *Engine) Decide(astate uint64) Decision {
+	p := e.pred.Predict(astate)
+	return Decision{
+		Offload:   p.Length > e.threshold,
+		Predicted: p.Length,
+		Source:    p.Source,
+	}
+}
+
+// Train feeds the observed run length back and scores the binary decision
+// the engine made for this invocation against the decision an oracle with
+// the same threshold would have made.
+func (e *Engine) Train(astate uint64, d Decision, actual int) {
+	e.pred.Update(astate, actual)
+	e.binTotal.Inc()
+	if d.Offload == (actual > e.threshold) {
+		e.binCorrect.Inc()
+	}
+}
+
+// BinaryAccuracy returns the fraction of invocations whose off-load/stay
+// decision matched the oracle (Figure 3's metric).
+func (e *Engine) BinaryAccuracy() float64 {
+	return stats.Ratio(e.binCorrect.Value(), e.binTotal.Value())
+}
+
+// BinaryDecisions returns the number of scored decisions.
+func (e *Engine) BinaryDecisions() uint64 { return e.binTotal.Value() }
+
+// ResetBinaryAccuracy clears the Figure 3 accounting (used when sweeping
+// thresholds over one trace).
+func (e *Engine) ResetBinaryAccuracy() {
+	e.binTotal.Reset()
+	e.binCorrect.Reset()
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TunerConfig parameterizes the dynamic estimation of the off-load
+// threshold N (§III-B). The defaults reproduce the paper's numbers; the
+// simulator scales the epoch lengths down proportionally so experiments
+// finish quickly without changing the algorithm.
+type TunerConfig struct {
+	// Ladder is the ascending set of candidate thresholds. The paper
+	// uses "very coarse-grained values of N"; refining the ladder buys
+	// performance at the cost of sampling overhead.
+	Ladder []int
+	// SampleEpoch is the instruction count of one sampling epoch
+	// (paper: 25 M instructions).
+	SampleEpoch uint64
+	// BaseRun is the uninterrupted run length after a threshold change
+	// (paper: 100 M instructions).
+	BaseRun uint64
+	// MaxRun caps the exponential run-length growth applied while the
+	// threshold keeps being confirmed optimal (paper doubles 100 M to
+	// 200 M; we keep doubling up to this cap).
+	MaxRun uint64
+	// ImprovementMargin is the relative feedback gain a neighbour must
+	// show to displace the current threshold (paper: 1%).
+	ImprovementMargin float64
+	// PrivFracThreshold splits OS-intensive from compute-bound startup
+	// (paper: 10% of instructions in privileged mode).
+	PrivFracThreshold float64
+	// InitialHighPriv / InitialLowPriv are the startup thresholds for
+	// the two regimes (paper: N=1,000 and N=10,000).
+	InitialHighPriv int
+	InitialLowPriv  int
+}
+
+// DefaultTunerConfig returns the paper's §III-B parameters.
+func DefaultTunerConfig() TunerConfig {
+	return TunerConfig{
+		Ladder:            []int{0, 50, 100, 500, 1000, 5000, 10000, 100000},
+		SampleEpoch:       25_000_000,
+		BaseRun:           100_000_000,
+		MaxRun:            800_000_000,
+		ImprovementMargin: 0.01,
+		PrivFracThreshold: 0.10,
+		InitialHighPriv:   1000,
+		InitialLowPriv:    10000,
+	}
+}
+
+// Validate checks the configuration.
+func (c TunerConfig) Validate() error {
+	if len(c.Ladder) == 0 {
+		return fmt.Errorf("core: tuner ladder is empty")
+	}
+	if !sort.IntsAreSorted(c.Ladder) {
+		return fmt.Errorf("core: tuner ladder must be ascending: %v", c.Ladder)
+	}
+	for i := 1; i < len(c.Ladder); i++ {
+		if c.Ladder[i] == c.Ladder[i-1] {
+			return fmt.Errorf("core: tuner ladder has duplicate %d", c.Ladder[i])
+		}
+	}
+	if c.SampleEpoch == 0 || c.BaseRun == 0 {
+		return fmt.Errorf("core: tuner epochs must be positive")
+	}
+	if c.MaxRun < c.BaseRun {
+		return fmt.Errorf("core: MaxRun %d < BaseRun %d", c.MaxRun, c.BaseRun)
+	}
+	if c.ImprovementMargin < 0 || c.ImprovementMargin > 1 {
+		return fmt.Errorf("core: improvement margin %v out of [0,1]", c.ImprovementMargin)
+	}
+	return nil
+}
+
+// tunerPhase is the sampler's state.
+type tunerPhase int
+
+const (
+	phaseSampleCurrent tunerPhase = iota
+	phaseSampleLow
+	phaseSampleHigh
+	phaseRun
+)
+
+// Sample is one (threshold, feedback) observation kept for introspection
+// and the examples/tuner demo. HitRate carries whatever feedback metric
+// the host feeds ReportEpoch (§III-B proposes L2 hit rate; the simulator
+// uses epoch IPC — see DESIGN.md §5).
+type Sample struct {
+	Threshold    int
+	HitRate      float64
+	Instructions uint64
+}
+
+// Tuner is the epoch-based threshold estimator. The host simulation loop
+// drives it: run for EpochLength() instructions using Threshold(), measure
+// the feedback metric over that epoch, call ReportEpoch, repeat. Higher
+// feedback is better; the decision rule is metric-agnostic.
+type Tuner struct {
+	cfg   TunerConfig
+	idx   int // index into Ladder of the adopted threshold
+	phase tunerPhase
+
+	curRate, lowRate, highRate float64
+	hasLow, hasHigh            bool
+	runLen                     uint64
+
+	history []Sample
+	changes int
+}
+
+// NewTuner constructs a tuner; privFrac is the application's fraction of
+// instructions executed in privileged mode, which selects the starting
+// threshold per §III-B.
+func NewTuner(cfg TunerConfig, privFrac float64) (*Tuner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := cfg.InitialLowPriv
+	if privFrac > cfg.PrivFracThreshold {
+		start = cfg.InitialHighPriv
+	}
+	t := &Tuner{cfg: cfg, runLen: cfg.BaseRun}
+	t.idx = t.nearestIndex(start)
+	return t, nil
+}
+
+// MustNewTuner panics on config error.
+func MustNewTuner(cfg TunerConfig, privFrac float64) *Tuner {
+	t, err := NewTuner(cfg, privFrac)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tuner) nearestIndex(n int) int {
+	best, bestDist := 0, -1
+	for i, v := range t.cfg.Ladder {
+		d := v - n
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Threshold returns the N in effect for the *current* epoch: the adopted
+// threshold during run epochs, or the neighbour being sampled.
+func (t *Tuner) Threshold() int {
+	switch t.phase {
+	case phaseSampleLow:
+		return t.cfg.Ladder[t.idx-1]
+	case phaseSampleHigh:
+		return t.cfg.Ladder[t.idx+1]
+	default:
+		return t.cfg.Ladder[t.idx]
+	}
+}
+
+// AdoptedThreshold returns the threshold the tuner currently believes is
+// best, independent of any in-flight sampling.
+func (t *Tuner) AdoptedThreshold() int { return t.cfg.Ladder[t.idx] }
+
+// EpochLength returns how many instructions the current epoch should run
+// before ReportEpoch is called.
+func (t *Tuner) EpochLength() uint64 {
+	if t.phase == phaseRun {
+		return t.runLen
+	}
+	return t.cfg.SampleEpoch
+}
+
+// Changes returns how many times the adopted threshold has changed.
+func (t *Tuner) Changes() int { return t.changes }
+
+// History returns the recorded samples (aliases internal storage; callers
+// must not modify).
+func (t *Tuner) History() []Sample { return t.history }
+
+// ReportEpoch feeds the epoch's feedback metric back and advances the
+// sampling state machine.
+func (t *Tuner) ReportEpoch(l2HitRate float64) {
+	t.history = append(t.history, Sample{
+		Threshold:    t.Threshold(),
+		HitRate:      l2HitRate,
+		Instructions: t.EpochLength(),
+	})
+	switch t.phase {
+	case phaseSampleCurrent:
+		t.curRate = l2HitRate
+		t.hasLow, t.hasHigh = false, false
+		if t.idx > 0 {
+			t.phase = phaseSampleLow
+			return
+		}
+		if t.idx < len(t.cfg.Ladder)-1 {
+			t.phase = phaseSampleHigh
+			return
+		}
+		// Single-rung ladder: nothing to compare against.
+		t.decide()
+
+	case phaseSampleLow:
+		t.lowRate = l2HitRate
+		t.hasLow = true
+		if t.idx < len(t.cfg.Ladder)-1 {
+			t.phase = phaseSampleHigh
+			return
+		}
+		t.decide()
+
+	case phaseSampleHigh:
+		t.highRate = l2HitRate
+		t.hasHigh = true
+		t.decide()
+
+	case phaseRun:
+		// The long run finished; re-sample around the adopted threshold.
+		t.phase = phaseSampleCurrent
+	}
+}
+
+// decide compares the sampled neighbours against the current threshold and
+// either adopts a better neighbour (resetting the run length to BaseRun)
+// or confirms the current one (doubling the run length up to MaxRun).
+// "Better" means a relative improvement beyond the margin (§III-B: "1%
+// better"), which keeps the rule metric-agnostic — the host can feed L2
+// hit rate or IPC.
+func (t *Tuner) decide() {
+	bestIdx := t.idx
+	bestRate := t.curRate
+	if t.hasLow && t.lowRate > t.curRate*(1+t.cfg.ImprovementMargin) && t.lowRate > bestRate {
+		bestIdx = t.idx - 1
+		bestRate = t.lowRate
+	}
+	if t.hasHigh && t.highRate > t.curRate*(1+t.cfg.ImprovementMargin) && t.highRate > bestRate {
+		bestIdx = t.idx + 1
+		bestRate = t.highRate
+	}
+	if bestIdx != t.idx {
+		t.idx = bestIdx
+		t.changes++
+		t.runLen = t.cfg.BaseRun
+	} else {
+		// Still optimal: back off sampling by doubling the run epoch
+		// (100 M -> 200 M in the paper), bounded by MaxRun.
+		if t.runLen*2 <= t.cfg.MaxRun {
+			t.runLen *= 2
+		} else {
+			t.runLen = t.cfg.MaxRun
+		}
+	}
+	t.phase = phaseRun
+}

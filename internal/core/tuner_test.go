@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+)
+
+func testTunerConfig() TunerConfig {
+	cfg := DefaultTunerConfig()
+	// Scale epochs down for test speed; the algorithm is unchanged.
+	cfg.SampleEpoch = 1000
+	cfg.BaseRun = 4000
+	cfg.MaxRun = 16000
+	return cfg
+}
+
+func TestTunerConfigValidate(t *testing.T) {
+	if err := DefaultTunerConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultTunerConfig()
+	bad.Ladder = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+	bad = DefaultTunerConfig()
+	bad.Ladder = []int{100, 50}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("descending ladder accepted")
+	}
+	bad = DefaultTunerConfig()
+	bad.Ladder = []int{100, 100}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate rung accepted")
+	}
+	bad = DefaultTunerConfig()
+	bad.MaxRun = bad.BaseRun - 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("MaxRun < BaseRun accepted")
+	}
+}
+
+func TestInitialThresholdByPrivFraction(t *testing.T) {
+	// §III-B: start at N=1,000 when >10% privileged, else N=10,000.
+	hi := MustNewTuner(testTunerConfig(), 0.30)
+	if hi.AdoptedThreshold() != 1000 {
+		t.Fatalf("OS-intensive start N = %d, want 1000", hi.AdoptedThreshold())
+	}
+	lo := MustNewTuner(testTunerConfig(), 0.02)
+	if lo.AdoptedThreshold() != 10000 {
+		t.Fatalf("compute-bound start N = %d, want 10000", lo.AdoptedThreshold())
+	}
+}
+
+func TestSamplingVisitsNeighbours(t *testing.T) {
+	tu := MustNewTuner(testTunerConfig(), 0.5) // start at 1000
+	seen := []int{}
+	for i := 0; i < 3; i++ {
+		seen = append(seen, tu.Threshold())
+		tu.ReportEpoch(0.5)
+	}
+	// Sampling order: current (1000), low (500), high (5000).
+	if seen[0] != 1000 || seen[1] != 500 || seen[2] != 5000 {
+		t.Fatalf("sampling sequence %v, want [1000 500 5000]", seen)
+	}
+}
+
+func TestAdoptsBetterNeighbour(t *testing.T) {
+	tu := MustNewTuner(testTunerConfig(), 0.5) // start 1000
+	tu.ReportEpoch(0.50)                       // current 1000
+	tu.ReportEpoch(0.60)                       // low 500: clearly better
+	tu.ReportEpoch(0.50)                       // high 5000
+	if tu.AdoptedThreshold() != 500 {
+		t.Fatalf("adopted %d, want 500", tu.AdoptedThreshold())
+	}
+	if tu.Changes() != 1 {
+		t.Fatalf("changes = %d", tu.Changes())
+	}
+	// After a change the stable run resets to BaseRun.
+	if tu.EpochLength() != 4000 {
+		t.Fatalf("run epoch = %d, want BaseRun 4000", tu.EpochLength())
+	}
+}
+
+func TestKeepsCurrentWithinMargin(t *testing.T) {
+	tu := MustNewTuner(testTunerConfig(), 0.5)
+	tu.ReportEpoch(0.50)
+	tu.ReportEpoch(0.505) // better, but within the 1% margin
+	tu.ReportEpoch(0.505)
+	if tu.AdoptedThreshold() != 1000 {
+		t.Fatalf("adopted %d despite sub-margin improvement, want 1000", tu.AdoptedThreshold())
+	}
+}
+
+func TestRunLengthDoublesWhenStable(t *testing.T) {
+	tu := MustNewTuner(testTunerConfig(), 0.5)
+	runLens := []uint64{}
+	// Three full rounds of stable sampling.
+	for round := 0; round < 3; round++ {
+		tu.ReportEpoch(0.5) // current
+		tu.ReportEpoch(0.4) // low worse
+		tu.ReportEpoch(0.4) // high worse
+		runLens = append(runLens, tu.EpochLength())
+		tu.ReportEpoch(0.5) // the long run completes
+	}
+	if runLens[0] != 8000 || runLens[1] != 16000 {
+		t.Fatalf("run lengths %v, want doubling 8000,16000,...", runLens)
+	}
+	// Capped at MaxRun.
+	if runLens[2] != 16000 {
+		t.Fatalf("run length exceeded MaxRun: %v", runLens)
+	}
+}
+
+func TestEdgeRungsSkipMissingNeighbour(t *testing.T) {
+	cfg := testTunerConfig()
+	cfg.Ladder = []int{0, 100}
+	cfg.InitialLowPriv = 0 // start at the bottom rung
+	tu := MustNewTuner(cfg, 0.0)
+	if tu.AdoptedThreshold() != 0 {
+		t.Fatalf("start = %d", tu.AdoptedThreshold())
+	}
+	tu.ReportEpoch(0.5) // current (idx 0, no low neighbour)
+	if tu.Threshold() != 100 {
+		t.Fatalf("bottom rung should sample high next, got %d", tu.Threshold())
+	}
+	tu.ReportEpoch(0.9) // high much better
+	if tu.AdoptedThreshold() != 100 {
+		t.Fatalf("adopted %d, want 100", tu.AdoptedThreshold())
+	}
+}
+
+func TestTopRungSkipsHighNeighbour(t *testing.T) {
+	cfg := testTunerConfig()
+	cfg.Ladder = []int{100, 1000}
+	cfg.InitialHighPriv = 1000
+	tu := MustNewTuner(cfg, 0.9)
+	tu.ReportEpoch(0.5) // current at top rung -> next samples low only
+	if tu.Threshold() != 100 {
+		t.Fatalf("top rung should sample low, got %d", tu.Threshold())
+	}
+	tu.ReportEpoch(0.2) // low worse -> keep, enter run phase
+	if tu.AdoptedThreshold() != 1000 {
+		t.Fatalf("adopted %d, want 1000", tu.AdoptedThreshold())
+	}
+	if tu.EpochLength() != 8000 { // doubled BaseRun after confirmation
+		t.Fatalf("run epoch = %d", tu.EpochLength())
+	}
+}
+
+func TestSingleRungLadder(t *testing.T) {
+	cfg := testTunerConfig()
+	cfg.Ladder = []int{500}
+	tu := MustNewTuner(cfg, 0.5)
+	tu.ReportEpoch(0.5) // must not panic; goes straight to run phase
+	if tu.AdoptedThreshold() != 500 {
+		t.Fatal("single rung changed")
+	}
+	if tu.EpochLength() <= cfg.SampleEpoch {
+		t.Fatal("single-rung ladder should enter run phase")
+	}
+}
+
+func TestHistoryRecorded(t *testing.T) {
+	tu := MustNewTuner(testTunerConfig(), 0.5)
+	tu.ReportEpoch(0.5)
+	tu.ReportEpoch(0.6)
+	h := tu.History()
+	if len(h) != 2 {
+		t.Fatalf("history length %d", len(h))
+	}
+	if h[0].Threshold != 1000 || h[1].Threshold != 500 {
+		t.Fatalf("history thresholds %v", h)
+	}
+	if h[0].HitRate != 0.5 || h[1].HitRate != 0.6 {
+		t.Fatalf("history rates %v", h)
+	}
+}
+
+func TestNearestIndexSnapping(t *testing.T) {
+	cfg := testTunerConfig()
+	cfg.InitialHighPriv = 900 // not on the ladder; snaps to 1000
+	tu := MustNewTuner(cfg, 0.5)
+	if tu.AdoptedThreshold() != 1000 {
+		t.Fatalf("snapped to %d, want 1000", tu.AdoptedThreshold())
+	}
+}

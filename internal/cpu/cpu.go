@@ -1,0 +1,230 @@
+// Package cpu models the in-order cores of the simulated CMP (§IV: Simics
+// with in-order UltraSPARC cores; the paper argues in-order multi-threaded
+// cores are the realistic substrate for OS-intensive server work, citing
+// Niagara/Rock/Atom).
+//
+// A Core charges one cycle per instruction plus memory stalls: instruction
+// fetches and data references run through private L1 I/D arrays backed by
+// the coherent L2 system, and every L1 miss stalls the core for the full
+// hierarchy latency — the blocking behaviour of a single-issue in-order
+// pipeline. Inclusion between L1s and the private L2 is maintained through
+// the coherence system's back-invalidation hooks.
+package cpu
+
+import (
+	"fmt"
+
+	"offloadsim/internal/cache"
+	"offloadsim/internal/coherence"
+	"offloadsim/internal/stats"
+	"offloadsim/internal/trace"
+)
+
+// Config sizes a core's private L1s. Table II: 32 KB 2-way I and D, 1
+// cycle, 64 B lines. The 1-cycle L1 hit is folded into the base CPI, so
+// only misses add stall cycles.
+type Config struct {
+	L1I cache.Config
+	L1D cache.Config
+	// IFetchInterval is the instruction count per I-cache line fetch:
+	// 64 B line / 4 B fixed-width SPARC instructions = 16.
+	IFetchInterval int
+}
+
+// DefaultConfig returns the Table II core front end.
+func DefaultConfig() Config {
+	return Config{
+		L1I: cache.Config{
+			Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Ways: 2, HitLatency: 1,
+		},
+		L1D: cache.Config{
+			Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 2, HitLatency: 1,
+		},
+		IFetchInterval: 16,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.L1I.Validate(); err != nil {
+		return err
+	}
+	if err := c.L1D.Validate(); err != nil {
+		return err
+	}
+	if c.IFetchInterval < 1 {
+		return fmt.Errorf("cpu: IFetchInterval %d < 1", c.IFetchInterval)
+	}
+	return nil
+}
+
+// Counters aggregates a core's execution statistics.
+type Counters struct {
+	Cycles     stats.Counter
+	Instrs     stats.Counter
+	UserInstrs stats.Counter
+	OSInstrs   stats.Counter
+	UserCycles stats.Counter
+	OSCycles   stats.Counter
+	StallCyc   stats.Counter // memory stall portion of Cycles
+	IdleCyc    stats.Counter // cycles waiting on migration/queuing; the
+	// core could clock-gate or enter a low-power state here (the basis
+	// of the energy extension)
+}
+
+// IPC returns instructions per cycle over everything executed on the core.
+func (c *Counters) IPC() float64 {
+	return stats.Ratio(c.Instrs.Value(), c.Cycles.Value())
+}
+
+// Reset clears the counters (epoch boundaries).
+func (c *Counters) Reset() { *c = Counters{} }
+
+// Core is one in-order processor with private L1s, attached as one node
+// of the coherent L2 system.
+type Core struct {
+	id   int
+	node int
+	cfg  Config
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	sys  *coherence.System
+
+	memAcc float64 // fractional data-reference accumulator
+	ifCnt  int     // instructions since last I-line fetch
+
+	Counters Counters
+}
+
+// New builds a core attached to coherence node `node` of sys and wires
+// the inclusion hooks. Core ids are only labels; the node index is what
+// routes memory traffic.
+func New(id, node int, cfg Config, sys *coherence.System) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l1iCfg := cfg.L1I
+	l1iCfg.Name = fmt.Sprintf("%s%d", cfg.L1I.Name, id)
+	l1dCfg := cfg.L1D
+	l1dCfg.Name = fmt.Sprintf("%s%d", cfg.L1D.Name, id)
+	l1i, err := cache.New(l1iCfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.New(l1dCfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &Core{id: id, node: node, cfg: cfg, l1i: l1i, l1d: l1d, sys: sys}
+	sys.RegisterL1Hook(node, func(lineAddr uint64) {
+		l1i.Invalidate(lineAddr)
+		l1d.Invalidate(lineAddr)
+	})
+	return c, nil
+}
+
+// MustNew panics on config errors.
+func MustNew(id, node int, cfg Config, sys *coherence.System) *Core {
+	c, err := New(id, node, cfg, sys)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ID returns the core's label.
+func (c *Core) ID() int { return c.id }
+
+// Node returns the coherence node the core drives.
+func (c *Core) Node() int { return c.node }
+
+// L1I exposes the instruction cache (stats/tests).
+func (c *Core) L1I() *cache.Cache { return c.l1i }
+
+// L1D exposes the data cache (stats/tests).
+func (c *Core) L1D() *cache.Cache { return c.l1d }
+
+// access runs one reference through an L1 array and, on a miss, the
+// coherent L2 system. The returned cycles are the *stall* contribution: an
+// L1 hit costs zero extra (its 1-cycle latency is the base CPI).
+func (c *Core) access(l1 *cache.Cache, lineAddr uint64, write bool) int {
+	l1.Stats.Accesses.Inc()
+	st := l1.Lookup(lineAddr)
+	if st != cache.Invalid && (!write || st == cache.Modified) {
+		l1.Stats.Hits.Inc()
+		l1.Touch(lineAddr)
+		return 0
+	}
+	l1.Stats.Misses.Inc()
+	var lat int
+	if write {
+		lat, _ = c.sys.Write(c.node, lineAddr)
+	} else {
+		lat, _ = c.sys.Read(c.node, lineAddr)
+	}
+	fill := cache.Shared
+	if write {
+		fill = cache.Modified
+	}
+	// L1 victims need no action: inclusion guarantees the L2 still holds
+	// the line, and dirty L1 data folds into the L2's Modified state.
+	l1.Allocate(lineAddr, fill)
+	return lat
+}
+
+// RunSegment executes one segment to completion and returns its cycle
+// cost. The in-order pipeline retires one instruction per cycle; each
+// I-line fetch and data reference that misses the L1 stalls retirement
+// for the full miss latency.
+func (c *Core) RunSegment(seg *trace.Segment) uint64 {
+	cycles := uint64(seg.Instrs)
+	stall := uint64(0)
+	for i := 0; i < seg.Instrs; i++ {
+		c.ifCnt++
+		if c.ifCnt >= c.cfg.IFetchInterval {
+			c.ifCnt = 0
+			stall += uint64(c.access(c.l1i, seg.NextIFetch(), false))
+		}
+		c.memAcc += seg.MemRatio
+		if c.memAcc >= 1 {
+			c.memAcc--
+			la, wr := seg.NextData()
+			stall += uint64(c.access(c.l1d, la, wr))
+		}
+	}
+	cycles += stall
+
+	c.Counters.Cycles.Add(cycles)
+	c.Counters.Instrs.Add(uint64(seg.Instrs))
+	c.Counters.StallCyc.Add(stall)
+	if seg.IsOS() {
+		c.Counters.OSInstrs.Add(uint64(seg.Instrs))
+		c.Counters.OSCycles.Add(cycles)
+	} else {
+		c.Counters.UserInstrs.Add(uint64(seg.Instrs))
+		c.Counters.UserCycles.Add(cycles)
+	}
+	return cycles
+}
+
+// Stall charges busy-wait cycles to the core (decision instrumentation):
+// they advance time without retiring instructions, with the core active.
+func (c *Core) Stall(cycles uint64) {
+	c.Counters.Cycles.Add(cycles)
+	c.Counters.StallCyc.Add(cycles)
+}
+
+// Idle charges low-power-eligible cycles (migration transit, OS-core
+// queuing, remote execution): the core has nothing to execute and could
+// sleep, which is what makes off-loading an energy play (Mogul et al.).
+func (c *Core) Idle(cycles uint64) {
+	c.Counters.Cycles.Add(cycles)
+	c.Counters.IdleCyc.Add(cycles)
+}
+
+// ResetStats clears core and L1 counters, preserving cache contents.
+func (c *Core) ResetStats() {
+	c.Counters.Reset()
+	c.l1i.Stats.Reset()
+	c.l1d.Stats.Reset()
+}

@@ -1,0 +1,142 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	m := Default()
+	m.ClockGHz = 0
+	if m.Validate() == nil {
+		t.Fatal("zero clock accepted")
+	}
+	m = Default()
+	m.OSActiveW = -1
+	if m.Validate() == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+func TestEvaluateRejectsDegenerateActivity(t *testing.T) {
+	m := Default()
+	if _, err := m.Evaluate(Activity{ElapsedCycles: 0, UserCores: 1}); err == nil {
+		t.Fatal("zero cycles accepted")
+	}
+	if _, err := m.Evaluate(Activity{ElapsedCycles: 100, UserCores: 0}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestSingleActiveCoreEnergy(t *testing.T) {
+	m := Model{ClockGHz: 1, UserActiveW: 10, UserIdleW: 1, OSActiveW: 5, OSIdleW: 0.5}
+	// 1e9 cycles at 1 GHz = 1 second fully active.
+	r, err := m.Evaluate(Activity{ElapsedCycles: 1_000_000_000, UserCores: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Seconds-1) > 1e-9 {
+		t.Fatalf("seconds = %v", r.Seconds)
+	}
+	if math.Abs(r.Joules-10) > 1e-9 {
+		t.Fatalf("joules = %v, want 10", r.Joules)
+	}
+	if math.Abs(r.EDP-10) > 1e-9 {
+		t.Fatalf("EDP = %v", r.EDP)
+	}
+	if math.Abs(r.AvgWatts-10) > 1e-9 {
+		t.Fatalf("watts = %v", r.AvgWatts)
+	}
+}
+
+func TestIdleCyclesSaveEnergy(t *testing.T) {
+	m := Model{ClockGHz: 1, UserActiveW: 10, UserIdleW: 1}
+	busy, _ := m.Evaluate(Activity{ElapsedCycles: 1e9, UserCores: 1})
+	halfIdle, _ := m.Evaluate(Activity{ElapsedCycles: 1e9, UserCores: 1, UserIdleCycles: 5e8})
+	if halfIdle.Joules >= busy.Joules {
+		t.Fatalf("idle run (%v J) not cheaper than busy run (%v J)", halfIdle.Joules, busy.Joules)
+	}
+	// Half the time at 10 W, half at 1 W -> 5.5 J.
+	if math.Abs(halfIdle.Joules-5.5) > 1e-9 {
+		t.Fatalf("joules = %v, want 5.5", halfIdle.Joules)
+	}
+}
+
+func TestOSCoreAddsIdleFloor(t *testing.T) {
+	m := Model{ClockGHz: 1, UserActiveW: 10, UserIdleW: 1, OSActiveW: 4, OSIdleW: 0.5}
+	without, _ := m.Evaluate(Activity{ElapsedCycles: 1e9, UserCores: 1})
+	with, _ := m.Evaluate(Activity{ElapsedCycles: 1e9, UserCores: 1, HasOSCore: true})
+	if math.Abs((with.Joules-without.Joules)-0.5) > 1e-9 {
+		t.Fatalf("idle OS core added %v J, want 0.5", with.Joules-without.Joules)
+	}
+}
+
+func TestMigrationEnergyCounted(t *testing.T) {
+	m := Model{ClockGHz: 1, UserActiveW: 1, MigrationNJ: 100}
+	none, _ := m.Evaluate(Activity{ElapsedCycles: 1e6, UserCores: 1})
+	many, _ := m.Evaluate(Activity{ElapsedCycles: 1e6, UserCores: 1, Migrations: 1000})
+	// 1000 migrations x 2 one-ways x 100 nJ = 0.2 mJ.
+	if math.Abs((many.Joules-none.Joules)-2e-4) > 1e-12 {
+		t.Fatalf("migration energy = %v J", many.Joules-none.Joules)
+	}
+}
+
+func TestOffloadEnergyWin(t *testing.T) {
+	// The asymmetric-CMP argument: a user core that sleeps while a
+	// cheaper OS core works can save energy even at equal runtime.
+	m := Default()
+	baseline, _ := m.Evaluate(Activity{ElapsedCycles: 1e9, UserCores: 1})
+	offload, _ := m.Evaluate(Activity{
+		ElapsedCycles:  1e9,
+		UserCores:      1,
+		UserIdleCycles: 4e8, // 40% of time waiting on the OS core
+		OSBusyCycles:   4e8,
+		HasOSCore:      true,
+		Migrations:     10000,
+	})
+	if offload.Joules >= baseline.Joules {
+		t.Fatalf("off-loading (%v J) should beat all-active baseline (%v J) under asymmetric power",
+			offload.Joules, baseline.Joules)
+	}
+}
+
+func TestClampsExcessCycles(t *testing.T) {
+	m := Default()
+	// Idle/busy beyond the elapsed horizon must clamp, not go negative.
+	r, err := m.Evaluate(Activity{
+		ElapsedCycles: 1000, UserCores: 1,
+		UserIdleCycles: 5000, OSBusyCycles: 5000, HasOSCore: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Joules < 0 {
+		t.Fatalf("negative energy: %v", r.Joules)
+	}
+}
+
+// Property: energy is non-negative and increases with active fraction.
+func TestQuickEnergyMonotoneInActivity(t *testing.T) {
+	m := Default()
+	f := func(elapsed uint32, idleFrac uint8) bool {
+		e := uint64(elapsed)%1e6 + 1000
+		idleA := uint64(float64(e) * float64(idleFrac%100) / 100)
+		idleB := idleA / 2 // less idle = more active
+		a, errA := m.Evaluate(Activity{ElapsedCycles: e, UserCores: 1, UserIdleCycles: idleA})
+		b, errB := m.Evaluate(Activity{ElapsedCycles: e, UserCores: 1, UserIdleCycles: idleB})
+		if errA != nil || errB != nil {
+			return false
+		}
+		return a.Joules >= 0 && b.Joules+1e-12 >= a.Joules
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a pure function from an Options value to
+// a result struct with a Render method, so the same runners back the
+// cmd/experiments binary, the examples and the root-level benchmarks.
+//
+// Absolute numbers differ from the paper's Simics testbed; the runners
+// exist to reproduce the *shapes*: who wins, by roughly what factor, and
+// where the crossovers fall. EXPERIMENTS.md records paper-vs-measured for
+// each artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"offloadsim/internal/migration"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/sim"
+	"offloadsim/internal/stats"
+	"offloadsim/internal/workloads"
+)
+
+// Options scales the experiment suite. Defaults trade ~a minute of wall
+// clock for stable numbers; tests shrink the budgets.
+type Options struct {
+	// WarmupInstrs and MeasureInstrs are per-core budgets for each run.
+	WarmupInstrs  uint64
+	MeasureInstrs uint64
+	// Seed drives every run (same seed -> identical workload streams
+	// across policies, which is what makes normalization meaningful).
+	Seed uint64
+	// ComputeReps are the compute-group representatives averaged into
+	// the "compute" series (§II presents the group as one curve).
+	ComputeReps []string
+	// Workers bounds concurrent simulation runs inside one experiment
+	// (0 = one per CPU). Runs are deterministic and independent, so
+	// parallelism affects only wall-clock time.
+	Workers int
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options {
+	return Options{
+		WarmupInstrs:  3_000_000,
+		MeasureInstrs: 2_000_000,
+		Seed:          1,
+		ComputeReps:   []string{"blackscholes", "mcf"},
+	}
+}
+
+// QuickOptions returns a reduced scale for smoke tests.
+func QuickOptions() Options {
+	return Options{
+		WarmupInstrs:  60_000,
+		MeasureInstrs: 150_000,
+		Seed:          1,
+		ComputeReps:   []string{"blackscholes"},
+	}
+}
+
+// serverNames are the individually-plotted workloads, in paper order.
+var serverNames = []string{"apache", "specjbb", "derby"}
+
+// GroupNames returns the four plotted series: the three servers plus the
+// aggregated compute group.
+func GroupNames() []string { return append(append([]string{}, serverNames...), "compute") }
+
+// groupProfiles resolves a series name to its member profiles.
+func (o Options) groupProfiles(name string) []*workloads.Profile {
+	if name != "compute" {
+		p, ok := workloads.ByName(name)
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown workload %q", name))
+		}
+		return []*workloads.Profile{p}
+	}
+	var out []*workloads.Profile
+	for _, rep := range o.ComputeReps {
+		p, ok := workloads.ByName(rep)
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown compute rep %q", rep))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// baseConfig assembles a sim.Config with the experiment-wide budgets.
+func (o Options) baseConfig(prof *workloads.Profile, kind policy.Kind, threshold, oneWay int) sim.Config {
+	cfg := sim.DefaultConfig(prof)
+	cfg.Policy = kind
+	cfg.Threshold = threshold
+	cfg.Migration = migration.Custom(oneWay)
+	cfg.WarmupInstrs = o.WarmupInstrs
+	cfg.MeasureInstrs = o.MeasureInstrs
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// run executes one configuration.
+func (o Options) run(cfg sim.Config) sim.Result {
+	return sim.MustNew(cfg).Run()
+}
+
+// baselineThroughput runs the no-off-loading single-core baseline.
+func (o Options) baselineThroughput(prof *workloads.Profile) float64 {
+	return o.run(o.baseConfig(prof, policy.Baseline, 0, 0)).Throughput
+}
+
+// groupNormalized runs cfgFor for every member of a group and returns the
+// geometric-mean throughput normalized to each member's own baseline.
+func (o Options) groupNormalized(group string, cfgFor func(*workloads.Profile) sim.Config) float64 {
+	var norms []float64
+	for _, prof := range o.groupProfiles(group) {
+		base := o.baselineThroughput(prof)
+		r := o.run(cfgFor(prof))
+		if base > 0 {
+			norms = append(norms, r.Throughput/base)
+		}
+	}
+	return stats.GeoMean(norms)
+}
+
+// renderTable writes an aligned text table: header row then data rows.
+func renderTable(w io.Writer, title string, header []string, rows [][]string) {
+	fmt.Fprintf(w, "%s\n", title)
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}

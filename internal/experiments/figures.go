@@ -1,0 +1,464 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"offloadsim/internal/core"
+	"offloadsim/internal/plot"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/sim"
+	"offloadsim/internal/stats"
+	"offloadsim/internal/workloads"
+)
+
+// Figure1Result holds the runtime overhead of dynamic software
+// instrumentation of *all* OS entry points, with off-loading disabled —
+// the pure cost of making decisions in software (paper Figure 1).
+type Figure1Result struct {
+	Costs     []int // instrumentation cost per entry, cycles
+	Groups    []string
+	Slowdowns [][]float64 // Slowdowns[g][c]: fractional throughput loss
+}
+
+// Figure1 measures instrumentation overhead at several per-entry costs,
+// spanning the "tens of cycles in basic implementations to hundreds of
+// cycles in complex implementations" range of §II.
+func Figure1(o Options) Figure1Result {
+	res := Figure1Result{
+		Costs:  []int{50, 100, 200, 400},
+		Groups: GroupNames(),
+	}
+	for _, g := range res.Groups {
+		var row []float64
+		for _, cost := range res.Costs {
+			norm := o.groupNormalized(g, func(p *workloads.Profile) sim.Config {
+				cfg := o.baseConfig(p, policy.DynamicInstrumentation, 1<<30, 0)
+				cfg.Overheads.DI = cost
+				cfg.InstrumentOnly = true
+				return cfg
+			})
+			row = append(row, 1-norm)
+		}
+		res.Slowdowns = append(res.Slowdowns, row)
+	}
+	return res
+}
+
+// Render writes the figure as a table of slowdown percentages.
+func (r Figure1Result) Render(w io.Writer) {
+	header := []string{"Workload"}
+	for _, c := range r.Costs {
+		header = append(header, fmt.Sprintf("%d cyc/entry", c))
+	}
+	var rows [][]string
+	for i, g := range r.Groups {
+		row := []string{g}
+		for _, s := range r.Slowdowns[i] {
+			row = append(row, fmt.Sprintf("%.2f%%", 100*s))
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, "Figure 1: runtime overhead of dynamic software instrumentation (all OS entry points, no off-loading)",
+		header, rows)
+}
+
+// Figure2Result summarizes the predictor organizations of Figure 2: the
+// hardware budgets and the §III-A accuracy numbers measured on the full
+// workload mix (73.6% exact / +24.8% within ±5% in the paper).
+type Figure2Result struct {
+	CAMEntries    int
+	CAMBytes      int
+	DMEntries     int
+	DMBytes       int
+	Workloads     []string
+	ExactRate     []float64 // per workload, CAM organization
+	Within5Rate   []float64
+	DMExactRate   []float64 // direct-mapped organization
+	DMWithin5Rate []float64
+}
+
+// Figure2 runs both predictor organizations across the workloads and
+// collects accuracy; storage figures come from the structures themselves.
+func Figure2(o Options) Figure2Result {
+	// Accuracy experiments need the predictor fully warm on the rare
+	// syscalls too (the paper warms 50 M instructions); scale the
+	// budgets up relative to the throughput experiments.
+	o.WarmupInstrs *= 5
+	o.MeasureInstrs *= 3
+	cam := core.NewCAMPredictor(core.DefaultCAMEntries)
+	dm := core.NewDirectMappedPredictor(core.DefaultDirectMappedEntries)
+	res := Figure2Result{
+		CAMEntries: cam.Entries(),
+		CAMBytes:   cam.StorageBits() / 8,
+		DMEntries:  dm.Entries(),
+		DMBytes:    dm.StorageBits() / 8,
+		Workloads:  GroupNames(),
+	}
+	for _, g := range res.Workloads {
+		var ex, w5, dex, dw5, n float64
+		for _, prof := range o.groupProfiles(g) {
+			cfg := o.baseConfig(prof, policy.HardwarePredictor, 1000, 100)
+			r := o.run(cfg)
+			ex += r.PredictorExact
+			w5 += r.PredictorWithin5
+			cfg.DirectMappedPredictor = true
+			r = o.run(cfg)
+			dex += r.PredictorExact
+			dw5 += r.PredictorWithin5
+			n++
+		}
+		res.ExactRate = append(res.ExactRate, ex/n)
+		res.Within5Rate = append(res.Within5Rate, w5/n)
+		res.DMExactRate = append(res.DMExactRate, dex/n)
+		res.DMWithin5Rate = append(res.DMWithin5Rate, dw5/n)
+	}
+	return res
+}
+
+// MeanExact returns the cross-workload mean exact-prediction rate (CAM).
+func (r Figure2Result) MeanExact() float64 {
+	sum := 0.0
+	for _, v := range r.ExactRate {
+		sum += v
+	}
+	return sum / float64(len(r.ExactRate))
+}
+
+// MeanWithin5 returns the cross-workload mean within-±5% rate (CAM).
+func (r Figure2Result) MeanWithin5() float64 {
+	sum := 0.0
+	for _, v := range r.Within5Rate {
+		sum += v
+	}
+	return sum / float64(len(r.Within5Rate))
+}
+
+// Render writes the predictor summary.
+func (r Figure2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 2: OS run-length predictor organizations\n")
+	fmt.Fprintf(w, "  CAM: %d entries, %d bytes (paper: 200 entries, ~2 KB)\n", r.CAMEntries, r.CAMBytes)
+	fmt.Fprintf(w, "  Direct-mapped (tag-less): %d entries, %d bytes (paper: 1500 entries, ~3.3 KB)\n\n", r.DMEntries, r.DMBytes)
+	header := []string{"Workload", "CAM exact", "CAM ±5%", "DM exact", "DM ±5%"}
+	var rows [][]string
+	for i, g := range r.Workloads {
+		rows = append(rows, []string{g,
+			fmt.Sprintf("%.1f%%", 100*r.ExactRate[i]),
+			fmt.Sprintf("%.1f%%", 100*r.Within5Rate[i]),
+			fmt.Sprintf("%.1f%%", 100*r.DMExactRate[i]),
+			fmt.Sprintf("%.1f%%", 100*r.DMWithin5Rate[i]),
+		})
+	}
+	renderTable(w, "  Run-length prediction accuracy", header, rows)
+	fmt.Fprintf(w, "  Mean: %.1f%% exact + %.1f%% within ±5%% (paper: 73.6%% + 24.8%%)\n\n",
+		100*r.MeanExact(), 100*r.MeanWithin5())
+}
+
+// Figure3Result holds binary off-load decision accuracy per trigger
+// threshold (paper Figure 3).
+type Figure3Result struct {
+	Thresholds []int
+	Groups     []string
+	HitRate    [][]float64 // HitRate[g][t]
+}
+
+// Figure3 measures how often the predictor-driven binary decision
+// (off-load vs stay) matches an oracle with the same threshold.
+func Figure3(o Options) Figure3Result {
+	// Same warm-predictor requirement as Figure2.
+	o.WarmupInstrs *= 5
+	o.MeasureInstrs *= 3
+	res := Figure3Result{
+		Thresholds: []int{100, 500, 1000, 5000, 10000},
+		Groups:     GroupNames(),
+	}
+	type key struct{ g, n, m int }
+	var cfgs []sim.Config
+	var keys []key
+	for gi, g := range res.Groups {
+		for mi, prof := range o.groupProfiles(g) {
+			for ni, n := range res.Thresholds {
+				cfgs = append(cfgs, o.baseConfig(prof, policy.HardwarePredictor, n, 100))
+				keys = append(keys, key{gi, ni, mi})
+			}
+		}
+	}
+	results := o.runBatch(cfgs)
+	for gi, g := range res.Groups {
+		members := len(o.groupProfiles(g))
+		row := make([]float64, len(res.Thresholds))
+		for i, k := range keys {
+			if k.g == gi {
+				row[k.n] += results[i].BinaryAccuracy / float64(members)
+			}
+		}
+		res.HitRate = append(res.HitRate, row)
+	}
+	return res
+}
+
+// Render writes the accuracy table.
+func (r Figure3Result) Render(w io.Writer) {
+	header := []string{"Workload"}
+	for _, n := range r.Thresholds {
+		header = append(header, fmt.Sprintf("N=%d", n))
+	}
+	var rows [][]string
+	for i, g := range r.Groups {
+		row := []string{g}
+		for _, v := range r.HitRate[i] {
+			row = append(row, fmt.Sprintf("%.1f%%", 100*v))
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, "Figure 3: binary prediction hit rate for core-migration trigger thresholds",
+		header, rows)
+}
+
+// Figure4Result holds normalized IPC against the single-core baseline for
+// every (threshold, one-way latency) point — the paper's four-panel
+// Figure 4.
+type Figure4Result struct {
+	Thresholds []int
+	Latencies  []int
+	Groups     []string
+	// Normalized[g][l][t]: throughput relative to the group's baseline.
+	Normalized [][][]float64
+}
+
+// Figure4 runs the threshold x latency sweep with the hardware predictor.
+func Figure4(o Options) Figure4Result {
+	res := Figure4Result{
+		Thresholds: []int{0, 50, 100, 250, 500, 1000, 2500, 5000, 10000},
+		Latencies:  []int{0, 100, 500, 1000, 5000},
+		Groups:     GroupNames(),
+	}
+	res.Normalized = make([][][]float64, len(res.Groups))
+	// Build the whole grid up front and run it on all CPUs: every point
+	// is an independent deterministic simulation.
+	type key struct {
+		group, lat, n, member int
+	}
+	var cfgs []sim.Config
+	var keys []key
+	baselineIdx := map[string]int{}
+	for gi, g := range res.Groups {
+		for mi, p := range o.groupProfiles(g) {
+			if _, ok := baselineIdx[p.Name]; !ok {
+				baselineIdx[p.Name] = len(cfgs)
+				cfgs = append(cfgs, o.baseConfig(p, policy.Baseline, 0, 0))
+				keys = append(keys, key{-1, -1, -1, -1})
+			}
+			for li := range res.Latencies {
+				for ni := range res.Thresholds {
+					cfgs = append(cfgs, o.baseConfig(p, policy.HardwarePredictor,
+						res.Thresholds[ni], res.Latencies[li]))
+					keys = append(keys, key{gi, li, ni, mi})
+				}
+			}
+		}
+	}
+	results := o.runBatch(cfgs)
+
+	// Assemble: geometric mean across group members per (lat, n) point.
+	for gi, g := range res.Groups {
+		profiles := o.groupProfiles(g)
+		panel := make([][]float64, len(res.Latencies))
+		for li := range panel {
+			panel[li] = make([]float64, len(res.Thresholds))
+		}
+		for li := range res.Latencies {
+			for ni := range res.Thresholds {
+				var norms []float64
+				for mi, p := range profiles {
+					base := results[baselineIdx[p.Name]].Throughput
+					for ki, k := range keys {
+						if k.group == gi && k.lat == li && k.n == ni && k.member == mi {
+							norms = append(norms, results[ki].Throughput/base)
+						}
+					}
+				}
+				panel[li][ni] = geoMean(norms)
+			}
+		}
+		res.Normalized[gi] = panel
+	}
+	return res
+}
+
+// RenderCharts draws the four panels as ASCII line charts (one curve per
+// migration latency), the closest terminal equivalent of the paper's
+// Figure 4.
+func (r Figure4Result) RenderCharts(w io.Writer) {
+	for gi, g := range r.Groups {
+		chart := plot.Chart{
+			Title:  fmt.Sprintf("Figure 4 [%s]: normalized IPC vs threshold N", g),
+			YLabel: "throughput normalized to single-core baseline",
+		}
+		for _, n := range r.Thresholds {
+			chart.XLabels = append(chart.XLabels, fmt.Sprint(n))
+		}
+		for li, lat := range r.Latencies {
+			chart.Series = append(chart.Series, plot.Series{
+				Name:   fmt.Sprintf("%d cyc", lat),
+				Values: r.Normalized[gi][li],
+			})
+		}
+		chart.Render(w)
+	}
+}
+
+// Best returns the peak normalized throughput and its (latency,
+// threshold) for a group index.
+func (r Figure4Result) Best(group int) (norm float64, latency, threshold int) {
+	for li, lat := range r.Latencies {
+		for ti, n := range r.Thresholds {
+			if v := r.Normalized[group][li][ti]; v > norm {
+				norm, latency, threshold = v, lat, n
+			}
+		}
+	}
+	return norm, latency, threshold
+}
+
+// Render writes one table per workload panel.
+func (r Figure4Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 4: normalized IPC vs off-loading threshold N, per one-way migration latency")
+	for gi, g := range r.Groups {
+		header := []string{"one-way lat"}
+		for _, n := range r.Thresholds {
+			header = append(header, fmt.Sprintf("N=%d", n))
+		}
+		var rows [][]string
+		for li, lat := range r.Latencies {
+			row := []string{fmt.Sprintf("%d cyc", lat)}
+			for ti := range r.Thresholds {
+				row = append(row, fmt.Sprintf("%.3f", r.Normalized[gi][li][ti]))
+			}
+			rows = append(rows, row)
+		}
+		renderTable(w, fmt.Sprintf("  [%s] (1.000 = single-core baseline)", g), header, rows)
+	}
+}
+
+// Figure5Result compares the decision policies at the conservative
+// (5,000-cycle) and aggressive (100-cycle) migration points (paper
+// Figure 5). DI and HI are reported at the best threshold on the dynamic
+// tuner's ladder: the paper's §III-B mechanism converges there over
+// hundreds of millions of instructions, which our measurement windows
+// (1000x shorter than the paper's) are too small to replay live; the
+// live sampler itself is exercised by the tuner unit tests and the
+// examples/tuner demo.
+type Figure5Result struct {
+	Groups   []string
+	Policies []string // SI, DI, HI
+	// Normalized[g][p][0]=conservative, [1]=aggressive.
+	Normalized [][][2]float64
+}
+
+// figure5Points are the two migration engines of Figure 5.
+var figure5Points = []int{5000, 100}
+
+// Figure5 runs the policy comparison.
+func Figure5(o Options) Figure5Result {
+	res := Figure5Result{
+		Groups:   GroupNames(),
+		Policies: []string{"SI", "DI", "HI"},
+	}
+	// tunerLadder mirrors DefaultTunerConfig's interior rungs (N=0 and
+	// the top guard rung are never optimal and are skipped to bound
+	// runtime).
+	tunerLadder := []int{50, 100, 500, 1000, 5000, 10000}
+	kinds := []policy.Kind{policy.StaticInstrumentation, policy.DynamicInstrumentation, policy.HardwarePredictor}
+
+	// Build the full grid (baselines + every policy point) and run it
+	// concurrently; every run is independent and deterministic.
+	var cfgs []sim.Config
+	type key struct {
+		prof string
+		kind policy.Kind
+		lat  int
+		n    int
+	}
+	var keys []key
+	seen := map[string]bool{}
+	for _, g := range res.Groups {
+		for _, p := range o.groupProfiles(g) {
+			if seen[p.Name] {
+				continue
+			}
+			seen[p.Name] = true
+			cfgs = append(cfgs, o.baseConfig(p, policy.Baseline, 0, 0))
+			keys = append(keys, key{p.Name, policy.Baseline, 0, 0})
+			for _, kind := range kinds {
+				for _, lat := range figure5Points {
+					if kind == policy.StaticInstrumentation {
+						cfgs = append(cfgs, o.baseConfig(p, kind, 0, lat))
+						keys = append(keys, key{p.Name, kind, lat, 0})
+						continue
+					}
+					for _, n := range tunerLadder {
+						cfgs = append(cfgs, o.baseConfig(p, kind, n, lat))
+						keys = append(keys, key{p.Name, kind, lat, n})
+					}
+				}
+			}
+		}
+	}
+	results := o.runBatch(cfgs)
+	lookup := map[key]float64{}
+	for i, k := range keys {
+		lookup[k] = results[i].Throughput
+	}
+
+	for _, g := range res.Groups {
+		profiles := o.groupProfiles(g)
+		var row [][2]float64
+		for _, kind := range kinds {
+			var point [2]float64
+			for pi, lat := range figure5Points {
+				var norms []float64
+				for _, p := range profiles {
+					base := lookup[key{p.Name, policy.Baseline, 0, 0}]
+					if kind == policy.StaticInstrumentation {
+						norms = append(norms, lookup[key{p.Name, kind, lat, 0}]/base)
+						continue
+					}
+					best := 0.0
+					for _, n := range tunerLadder {
+						if v := lookup[key{p.Name, kind, lat, n}] / base; v > best {
+							best = v
+						}
+					}
+					norms = append(norms, best)
+				}
+				point[pi] = geoMean(norms)
+			}
+			row = append(row, point)
+		}
+		res.Normalized = append(res.Normalized, row)
+	}
+	return res
+}
+
+// Render writes the policy comparison.
+func (r Figure5Result) Render(w io.Writer) {
+	header := []string{"Workload"}
+	for _, p := range r.Policies {
+		header = append(header, p+"-Cons", p+"-Agg")
+	}
+	var rows [][]string
+	for gi, g := range r.Groups {
+		row := []string{g}
+		for pi := range r.Policies {
+			row = append(row, fmt.Sprintf("%.3f", r.Normalized[gi][pi][0]),
+				fmt.Sprintf("%.3f", r.Normalized[gi][pi][1]))
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, "Figure 5: normalized throughput by policy (Cons = 5,000-cycle migration, Agg = 100-cycle)",
+		header, rows)
+}
+
+// geoMean aggregates normalized throughputs across group members.
+func geoMean(xs []float64) float64 { return stats.GeoMean(xs) }

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"offloadsim/internal/sim"
+)
+
+// Parallelism returns the worker count for batched runs: the Options
+// override when positive, else one worker per CPU. Every simulation is a
+// self-contained deterministic function of its Config, so concurrent
+// execution cannot perturb results — only reordering wall-clock time.
+func (o Options) parallelism() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runBatch executes every config concurrently and returns results in
+// input order.
+func (o Options) runBatch(cfgs []sim.Config) []sim.Result {
+	results := make([]sim.Result, len(cfgs))
+	workers := o.parallelism()
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			results[i] = o.run(cfg)
+		}
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = o.run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

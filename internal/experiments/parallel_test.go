@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFigure4ParallelDeterminism(t *testing.T) {
+	serial := QuickOptions()
+	serial.Workers = 1
+	parallel := QuickOptions()
+	parallel.Workers = 8
+	a := Figure4(serial)
+	b := Figure4(parallel)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("parallel execution changed Figure 4 results")
+	}
+}
+
+func TestFigure5ParallelDeterminism(t *testing.T) {
+	serial := QuickOptions()
+	serial.Workers = 1
+	parallel := QuickOptions()
+	parallel.Workers = 8
+	a := Figure5(serial)
+	b := Figure5(parallel)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("parallel execution changed Figure 5 results")
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"offloadsim/internal/policy"
+)
+
+// ScalingResult holds the §V-C OS-core scaling study: SPECjbb2005,
+// N=100, 1,000-cycle off-load, with 1, 2 and 4 user cores sharing a
+// single OS core. The paper reports a mean queuing delay of ~1,348 cycles
+// at 2:1 and >25,000 cycles at 4:1, with aggregate throughput up only
+// 4.5% at 2:1 and down at 4:1.
+type ScalingResult struct {
+	UserCores []int
+	// AggregateThroughput[i] is the summed user-core IPC.
+	AggregateThroughput []float64
+	// PerCoreThroughput[i] is aggregate / cores.
+	PerCoreThroughput []float64
+	// MeanQueueDelay[i] is the average cycles an off-load waited for
+	// the OS core.
+	MeanQueueDelay []float64
+	// OSUtilization[i] is the OS core's busy fraction.
+	OSUtilization []float64
+	// SpeedupVsOne[i] is aggregate throughput relative to the 1-core
+	// configuration.
+	SpeedupVsOne []float64
+}
+
+// Scaling runs the study.
+func Scaling(o Options) ScalingResult {
+	prof := o.groupProfiles("specjbb")[0]
+	res := ScalingResult{UserCores: []int{1, 2, 4}}
+	for _, cores := range res.UserCores {
+		cfg := o.baseConfig(prof, policy.HardwarePredictor, 100, 1000)
+		cfg.UserCores = cores
+		r := o.run(cfg)
+		res.AggregateThroughput = append(res.AggregateThroughput, r.Throughput)
+		res.PerCoreThroughput = append(res.PerCoreThroughput, r.Throughput/float64(cores))
+		res.MeanQueueDelay = append(res.MeanQueueDelay, r.MeanQueueDelay)
+		res.OSUtilization = append(res.OSUtilization, r.OSCoreUtilization)
+	}
+	for i := range res.UserCores {
+		res.SpeedupVsOne = append(res.SpeedupVsOne, res.AggregateThroughput[i]/res.AggregateThroughput[0])
+	}
+	return res
+}
+
+// Render writes the scaling table.
+func (r ScalingResult) Render(w io.Writer) {
+	header := []string{"user:OS cores", "agg tput", "per-core tput", "mean queue delay", "OS util", "agg vs 1:1"}
+	var rows [][]string
+	for i, c := range r.UserCores {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d:1", c),
+			fmt.Sprintf("%.4f", r.AggregateThroughput[i]),
+			fmt.Sprintf("%.4f", r.PerCoreThroughput[i]),
+			fmt.Sprintf("%.0f cyc", r.MeanQueueDelay[i]),
+			fmt.Sprintf("%.1f%%", 100*r.OSUtilization[i]),
+			fmt.Sprintf("%.2fx", r.SpeedupVsOne[i]),
+		})
+	}
+	renderTable(w, "Scaling study (§V-C): SPECjbb2005, N=100, 1,000-cycle off-load, shared OS core",
+		header, rows)
+}

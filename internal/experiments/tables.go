@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"offloadsim/internal/coherence"
+	"offloadsim/internal/cpu"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/sim"
+	"offloadsim/internal/syscalls"
+)
+
+// TableI renders the paper's Table I: the census of distinct system calls
+// across operating systems, the scale argument against per-syscall manual
+// instrumentation.
+func TableI(w io.Writer) {
+	rows := [][]string{}
+	census := syscalls.TableI()
+	// Two-column layout like the paper.
+	half := (len(census) + 1) / 2
+	for i := 0; i < half; i++ {
+		row := []string{census[i].OS, fmt.Sprint(census[i].Syscalls), "", ""}
+		if j := half + i; j < len(census) {
+			row[2] = census[j].OS
+			row[3] = fmt.Sprint(census[j].Syscalls)
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, "Table I: Number of distinct system calls in various operating systems",
+		[]string{"OS", "#Syscalls", "OS", "#Syscalls"}, rows)
+}
+
+// TableII renders the simulator parameters actually in effect, mirroring
+// the paper's Table II.
+func TableII(w io.Writer) {
+	cc := coherence.DefaultConfig()
+	cp := cpu.DefaultConfig()
+	rows := [][]string{
+		{"ISA", "UltraSPARC III (modeled)"},
+		{"Processor Pipeline", "In-Order, 1 IPC + memory stalls"},
+		{"Coherence Protocol", "Directory Based MESI"},
+		{"L1 I-cache", fmt.Sprintf("%d KB/%d-way, %d-cycle",
+			cp.L1I.SizeBytes>>10, cp.L1I.Ways, cp.L1I.HitLatency)},
+		{"L1 D-cache", fmt.Sprintf("%d KB/%d-way, %d-cycle",
+			cp.L1D.SizeBytes>>10, cp.L1D.Ways, cp.L1D.HitLatency)},
+		{"L2 Cache", fmt.Sprintf("%d MB/%d-way, %d-cycle (private per core)",
+			cc.L2.SizeBytes>>20, cc.L2.Ways, cc.L2.HitLatency)},
+		{"L1 and L2 Cache Line Size", fmt.Sprintf("%d Bytes", cc.L2.LineBytes)},
+		{"Main Memory", fmt.Sprintf("%d Cycle Uniform Latency", cc.Memory.Latency)},
+		{"Directory Lookup", fmt.Sprintf("%d Cycles", cc.DirectoryLatency)},
+		{"Interconnect", fmt.Sprintf("point-to-point, %d-cycle link + %d-cycle router",
+			cc.Fabric.LinkLatency, cc.Fabric.RouterLatency)},
+	}
+	renderTable(w, "Table II: Simulator parameters", []string{"Parameter", "Value"}, rows)
+}
+
+// TableIIIResult holds OS-core utilization per workload per threshold
+// (paper Table III: "percentage of total execution time spent on OS-core
+// using selective migration based on threshold N", 5,000-cycle off-load).
+type TableIIIResult struct {
+	Thresholds []int
+	Workloads  []string
+	// Utilization[w][t] is the OS-core busy fraction for workload w at
+	// threshold index t.
+	Utilization [][]float64
+}
+
+// TableIII runs the utilization sweep.
+func TableIII(o Options) TableIIIResult {
+	res := TableIIIResult{
+		Thresholds: []int{100, 1000, 5000, 10000},
+		Workloads:  serverNames,
+	}
+	var cfgs []sim.Config
+	for _, name := range res.Workloads {
+		prof := o.groupProfiles(name)[0]
+		for _, n := range res.Thresholds {
+			cfgs = append(cfgs, o.baseConfig(prof, policy.HardwarePredictor, n, 5000))
+		}
+	}
+	results := o.runBatch(cfgs)
+	i := 0
+	for range res.Workloads {
+		row := make([]float64, len(res.Thresholds))
+		for ni := range res.Thresholds {
+			row[ni] = results[i].OSCoreUtilization
+			i++
+		}
+		res.Utilization = append(res.Utilization, row)
+	}
+	return res
+}
+
+// Render writes the table.
+func (r TableIIIResult) Render(w io.Writer) {
+	header := []string{"Benchmark"}
+	for _, n := range r.Thresholds {
+		header = append(header, fmt.Sprintf("N=%d", n))
+	}
+	var rows [][]string
+	for i, name := range r.Workloads {
+		row := []string{name}
+		for _, u := range r.Utilization[i] {
+			row = append(row, fmt.Sprintf("%.2f%%", 100*u))
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, "Table III: % of execution time on OS core vs migration threshold N (5,000-cycle off-load)",
+		header, rows)
+}

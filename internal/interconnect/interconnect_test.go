@@ -1,0 +1,61 @@
+package interconnect
+
+import "testing"
+
+func TestSendLatency(t *testing.T) {
+	f := New(Config{LinkLatency: 4, RouterLatency: 1})
+	if lat := f.Send(ReqMsg, 1); lat != 5 {
+		t.Fatalf("1-hop latency = %d, want 5", lat)
+	}
+	if lat := f.Send(DataMsg, 2); lat != 9 {
+		t.Fatalf("2-hop latency = %d, want 9", lat)
+	}
+}
+
+func TestSendClampsHops(t *testing.T) {
+	f := New(DefaultConfig())
+	if f.Send(InvMsg, 0) != f.Config().RouterLatency+f.Config().LinkLatency {
+		t.Fatal("zero hops not clamped to one")
+	}
+}
+
+func TestCounting(t *testing.T) {
+	f := New(DefaultConfig())
+	f.Send(ReqMsg, 1)
+	f.Send(ReqMsg, 1)
+	f.Send(DataMsg, 1)
+	if f.Messages(ReqMsg) != 2 || f.Messages(DataMsg) != 1 || f.Messages(AckMsg) != 0 {
+		t.Fatal("per-kind counts wrong")
+	}
+	if f.TotalMessages() != 3 {
+		t.Fatalf("total = %d", f.TotalMessages())
+	}
+	if f.TotalCycles() != 15 {
+		t.Fatalf("cycles = %d, want 15", f.TotalCycles())
+	}
+	f.Reset()
+	if f.TotalMessages() != 0 || f.TotalCycles() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{LinkLatency: -1}).Validate(); err == nil {
+		t.Fatal("negative link latency accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{LinkLatency: -1})
+}
+
+func TestKindString(t *testing.T) {
+	want := map[MessageKind]string{ReqMsg: "req", FwdMsg: "fwd", DataMsg: "data", InvMsg: "inv", AckMsg: "ack"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}

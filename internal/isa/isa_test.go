@@ -1,0 +1,176 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResetState(t *testing.T) {
+	r := NewRegFile()
+	if r.Privileged() {
+		t.Fatal("reset state should be user mode")
+	}
+	if !r.InterruptsEnabled() {
+		t.Fatal("reset state should have interrupts enabled")
+	}
+	if r.G0 != 0 {
+		t.Fatal("g0 must be zero")
+	}
+}
+
+func TestEnterExitPrivileged(t *testing.T) {
+	r := NewRegFile()
+	r.EnterPrivileged(false)
+	if !r.Privileged() {
+		t.Fatal("EnterPrivileged did not set priv bit")
+	}
+	if !r.InterruptsEnabled() {
+		t.Fatal("interrupts should remain enabled when not masked")
+	}
+	r.ExitPrivileged()
+	if r.Privileged() {
+		t.Fatal("ExitPrivileged did not clear priv bit")
+	}
+	if !r.InterruptsEnabled() {
+		t.Fatal("ExitPrivileged should restore interrupts")
+	}
+}
+
+func TestEnterPrivilegedMasksInterrupts(t *testing.T) {
+	r := NewRegFile()
+	r.EnterPrivileged(true)
+	if r.InterruptsEnabled() {
+		t.Fatal("maskInterrupts did not clear IE")
+	}
+	r.ExitPrivileged()
+	if !r.InterruptsEnabled() {
+		t.Fatal("exit should re-enable interrupts")
+	}
+}
+
+func TestAStateReflectsSyscallIdentity(t *testing.T) {
+	r := NewRegFile()
+	r.SetSyscallArgs(5, 100, 200)
+	r.EnterPrivileged(false)
+	a1 := r.AState()
+
+	r2 := NewRegFile()
+	r2.SetSyscallArgs(5, 100, 200)
+	r2.EnterPrivileged(false)
+	if r2.AState() != a1 {
+		t.Fatal("identical syscall state should hash identically")
+	}
+
+	r2.SetSyscallArgs(6, 100, 200)
+	if r2.AState() == a1 {
+		t.Fatal("different syscall number should change AState")
+	}
+	r2.SetSyscallArgs(5, 101, 200)
+	if r2.AState() == a1 {
+		t.Fatal("different argument should change AState")
+	}
+}
+
+func TestAStateChangesWithPrivilegeBits(t *testing.T) {
+	r := NewRegFile()
+	r.SetSyscallArgs(5, 1, 2)
+	user := r.AState()
+	r.EnterPrivileged(false)
+	if r.AState() == user {
+		t.Fatal("privilege transition should perturb AState")
+	}
+}
+
+func TestWindowSpillAfterExhaustion(t *testing.T) {
+	r := NewRegFile()
+	spills := 0
+	for i := 0; i < NumWindows; i++ {
+		if r.Save() == WindowSpill {
+			spills++
+		}
+	}
+	if spills == 0 {
+		t.Fatal("deep call chain should eventually spill")
+	}
+	// First NumWindows-2 saves must succeed.
+	r2 := NewRegFile()
+	for i := 0; i < NumWindows-2; i++ {
+		if ev := r2.Save(); ev != WindowOK {
+			t.Fatalf("save %d trapped unexpectedly: %v", i, ev)
+		}
+	}
+	if ev := r2.Save(); ev != WindowSpill {
+		t.Fatalf("save beyond capacity should spill, got %v", ev)
+	}
+}
+
+func TestWindowFillAfterSpill(t *testing.T) {
+	r := NewRegFile()
+	// Exhaust and spill several times so earlier windows are on the stack.
+	for i := 0; i < NumWindows+3; i++ {
+		r.Save()
+	}
+	fills := 0
+	for i := 0; i < NumWindows+3; i++ {
+		if r.Restore() == WindowFill {
+			fills++
+		}
+	}
+	if fills == 0 {
+		t.Fatal("returning past spilled windows should fill")
+	}
+}
+
+func TestBalancedSaveRestoreNoTraps(t *testing.T) {
+	r := NewRegFile()
+	for depth := 0; depth < NumWindows-2; depth++ {
+		if r.Save() != WindowOK {
+			t.Fatal("save within capacity trapped")
+		}
+	}
+	for depth := 0; depth < NumWindows-2; depth++ {
+		if r.Restore() != WindowOK {
+			t.Fatal("restore of in-register window trapped")
+		}
+	}
+}
+
+// Property: AState is a pure function of the five registers.
+func TestQuickAStatePure(t *testing.T) {
+	f := func(pstate, g1, i0, i1 uint64) bool {
+		a := &RegFile{PState: pstate, G1: g1, I0: i0, I1: i1}
+		b := &RegFile{PState: pstate, G1: g1, I0: i0, I1: i1}
+		return a.AState() == b.AState() && a.AState() == pstate^g1^i0^i1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: window state machine never goes out of bounds under random
+// save/restore sequences.
+func TestQuickWindowInvariants(t *testing.T) {
+	f := func(ops []bool) bool {
+		r := NewRegFile()
+		for _, save := range ops {
+			if save {
+				r.Save()
+			} else {
+				r.Restore()
+			}
+			if r.CanSave < 0 || r.CanSave > NumWindows-2 {
+				return false
+			}
+			if r.CanRestore < 0 || r.CanRestore > NumWindows-2 {
+				return false
+			}
+			if r.CWP < 0 || r.CWP >= NumWindows {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package memory models main memory as a uniform-latency backing store, as
+// the paper does (Table II: "Main Memory — 350 Cycle Uniform Latency",
+// taken from Brown and Tullsen's real-machine timings). The model counts
+// reads (fills) and writes (writebacks) and charges a fixed latency for
+// fills; writebacks are posted (buffered) and do not stall the requester,
+// matching a write-back hierarchy with adequate write buffering.
+package memory
+
+import (
+	"fmt"
+
+	"offloadsim/internal/stats"
+)
+
+// Config describes the memory model.
+type Config struct {
+	// Latency is the fill latency in cycles.
+	Latency int
+}
+
+// DefaultConfig returns the paper's 350-cycle uniform latency.
+func DefaultConfig() Config { return Config{Latency: 350} }
+
+// Validate rejects negative latency.
+func (c Config) Validate() error {
+	if c.Latency < 0 {
+		return fmt.Errorf("memory: negative latency %d", c.Latency)
+	}
+	return nil
+}
+
+// Memory is the backing store.
+type Memory struct {
+	cfg        Config
+	reads      stats.Counter
+	writebacks stats.Counter
+}
+
+// New constructs a Memory; invalid configs panic (they are constants in
+// practice).
+func New(cfg Config) *Memory {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Memory{cfg: cfg}
+}
+
+// Config returns the configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Read charges one line fill and returns its latency.
+func (m *Memory) Read() int {
+	m.reads.Inc()
+	return m.cfg.Latency
+}
+
+// Writeback records one posted line writeback (no requester stall).
+func (m *Memory) Writeback() {
+	m.writebacks.Inc()
+}
+
+// Reads returns the fill count.
+func (m *Memory) Reads() uint64 { return m.reads.Value() }
+
+// Writebacks returns the writeback count.
+func (m *Memory) Writebacks() uint64 { return m.writebacks.Value() }
+
+// Reset clears counters.
+func (m *Memory) Reset() {
+	m.reads.Reset()
+	m.writebacks.Reset()
+}

@@ -1,0 +1,36 @@
+package memory
+
+import "testing"
+
+func TestDefaultIsPaperLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	if got := m.Read(); got != 350 {
+		t.Fatalf("fill latency = %d, want 350 (Table II)", got)
+	}
+}
+
+func TestCounting(t *testing.T) {
+	m := New(Config{Latency: 100})
+	m.Read()
+	m.Read()
+	m.Writeback()
+	if m.Reads() != 2 || m.Writebacks() != 1 {
+		t.Fatalf("reads=%d writebacks=%d", m.Reads(), m.Writebacks())
+	}
+	m.Reset()
+	if m.Reads() != 0 || m.Writebacks() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Latency: -1}).Validate(); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{Latency: -1})
+}

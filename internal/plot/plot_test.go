@@ -1,0 +1,123 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func render(c *Chart) string {
+	var buf bytes.Buffer
+	c.Render(&buf)
+	return buf.String()
+}
+
+func TestEmptyChart(t *testing.T) {
+	out := render(&Chart{Title: "empty"})
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart rendered %q", out)
+	}
+}
+
+func TestSingleSeries(t *testing.T) {
+	c := &Chart{
+		Title:   "throughput",
+		XLabels: []string{"0", "100", "1000"},
+		Series:  []Series{{Name: "lat=0", Values: []float64{1.0, 1.5, 1.2}}},
+	}
+	out := render(c)
+	if !strings.Contains(out, "throughput") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "lat=0") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing markers")
+	}
+	for _, lbl := range []string{"0", "100", "1000"} {
+		if !strings.Contains(out, lbl) {
+			t.Fatalf("missing x label %q", lbl)
+		}
+	}
+}
+
+func TestMarkerPlacementExtremes(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Values: []float64{0, 10}}},
+		Height:  5,
+		Width:   20,
+	}
+	out := render(c)
+	lines := strings.Split(out, "\n")
+	// Row 0 (top) holds the max; row 4 holds the min.
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("max not on top row: %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "*") {
+		t.Fatalf("min not on bottom row: %q", lines[4])
+	}
+}
+
+func TestMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"1", "2", "3"},
+		Series: []Series{
+			{Name: "a", Values: []float64{1, 2, 3}},
+			{Name: "b", Values: []float64{3, 2, 1}},
+		},
+	}
+	out := render(c)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("series markers not distinct")
+	}
+}
+
+func TestYAxisTicks(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"1", "2"},
+		Series:  []Series{{Name: "s", Values: []float64{2, 4}}},
+		Height:  7,
+	}
+	out := render(c)
+	// Padded bounds: lo = 2 - 0.1, hi = 4 + 0.1.
+	if !strings.Contains(out, "4.100") || !strings.Contains(out, "1.900") {
+		t.Fatalf("missing Y ticks:\n%s", out)
+	}
+}
+
+func TestFlatSeriesDoesNotDivideByZero(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"1", "2", "3"},
+		Series:  []Series{{Name: "flat", Values: []float64{5, 5, 5}}},
+	}
+	out := render(c) // must not panic
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series lost its markers")
+	}
+}
+
+func TestNaNValuesSkipped(t *testing.T) {
+	nan := 0.0
+	nan /= nan
+	c := &Chart{
+		XLabels: []string{"1", "2", "3"},
+		Series:  []Series{{Name: "s", Values: []float64{1, nan, 2}}},
+	}
+	out := render(c) // must not panic
+	if !strings.Contains(out, "*") {
+		t.Fatal("valid points lost")
+	}
+}
+
+func TestYLabelPrinted(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"1"},
+		Series:  []Series{{Name: "s", Values: []float64{1}}},
+		YLabel:  "normalized IPC",
+	}
+	if !strings.Contains(render(c), "normalized IPC") {
+		t.Fatal("missing y label")
+	}
+}

@@ -1,0 +1,99 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws ranks in [0, n) following a Zipf distribution with exponent s.
+// Low ranks are the most popular. It is used to model hot-set locality in
+// workload footprints: a few cache lines absorb most references, with a
+// long cold tail, which is the reference behaviour reported for both user
+// and OS working sets.
+type Zipf struct {
+	src *Source
+	cdf []float64 // cumulative probability per rank
+}
+
+// NewZipf constructs a Zipf sampler over n ranks with exponent s (> 0).
+// The construction cost is O(n); samplers are meant to be built once per
+// region at workload-setup time.
+func NewZipf(src *Source, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("rng: NewZipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{src: src, cdf: cdf}
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw returns a rank in [0, N()).
+func (z *Zipf) Draw() int {
+	u := z.src.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Categorical draws from a fixed discrete distribution given by weights.
+// It is used for syscall-mix sampling: each benchmark profile assigns a
+// weight to every syscall it issues.
+type Categorical struct {
+	src *Source
+	cdf []float64
+}
+
+// NewCategorical builds a sampler over len(weights) categories. Weights
+// must be non-negative and sum to a positive value.
+func NewCategorical(src *Source, weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("rng: categorical needs at least one weight")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("rng: categorical weight %d is %v", i, w)
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("rng: categorical weights sum to %v", sum)
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Categorical{src: src, cdf: cdf}, nil
+}
+
+// MustCategorical is NewCategorical that panics on invalid weights; for use
+// with compile-time-constant profiles.
+func MustCategorical(src *Source, weights []float64) *Categorical {
+	c, err := NewCategorical(src, weights)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Draw returns a category index in [0, len(weights)).
+func (c *Categorical) Draw() int {
+	u := c.src.Float64()
+	return sort.SearchFloat64s(c.cdf, u)
+}
+
+// K returns the number of categories.
+func (c *Categorical) K() int { return len(c.cdf) }

@@ -1,0 +1,291 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/1000 draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Fork()
+	// The child must not replay the parent's sequence.
+	p := make([]uint64, 64)
+	c := make([]uint64, 64)
+	for i := range p {
+		p[i] = parent.Uint64()
+		c[i] = child.Uint64()
+	}
+	matches := 0
+	for i := range p {
+		if p[i] == c[i] {
+			matches++
+		}
+	}
+	if matches > 1 {
+		t.Fatalf("forked stream matched parent on %d/64 draws", matches)
+	}
+}
+
+func TestForkDeterminism(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	ca := a.Fork()
+	cb := b.Fork()
+	for i := 0; i < 100; i++ {
+		if ca.Uint64() != cb.Uint64() {
+			t.Fatalf("forks of identical parents diverged at draw %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) returned %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 returned %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) hit rate = %v", p)
+	}
+	if s.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+}
+
+func TestRangeInclusive(t *testing.T) {
+	s := New(17)
+	seenLo, seenHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := s.Range(5, 8)
+		if v < 5 || v > 8 {
+			t.Fatalf("Range(5,8) returned %d", v)
+		}
+		if v == 5 {
+			seenLo = true
+		}
+		if v == 8 {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Fatal("Range(5,8) never produced an endpoint")
+	}
+	// Degenerate range.
+	if v := s.Range(4, 4); v != 4 {
+		t.Fatalf("Range(4,4) = %d", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(23)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("Normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(29)
+	const p = 0.2
+	const n = 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += s.Geometric(p)
+	}
+	mean := float64(sum) / n
+	want := (1 - p) / p // mean of failures-before-success
+	if math.Abs(mean-want) > 0.15 {
+		t.Fatalf("Geometric(%v) mean = %v, want ~%v", p, mean, want)
+	}
+	if s.Geometric(1.0) != 0 {
+		t.Fatal("Geometric(1) != 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(31)
+	z := NewZipf(s, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf rank 0 (%d) not hotter than rank 50 (%d)", counts[0], counts[50])
+	}
+	// Rank 0 should take roughly 1/H(100) ~ 19% of draws for s=1.
+	frac := float64(counts[0]) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("Zipf rank-0 fraction = %v, want ~0.19", frac)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	s := New(37)
+	z := NewZipf(s, 8, 1.2)
+	for i := 0; i < 10000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 8 {
+			t.Fatalf("Zipf draw out of range: %d", v)
+		}
+	}
+}
+
+func TestCategoricalProportions(t *testing.T) {
+	s := New(41)
+	c := MustCategorical(s, []float64{1, 3, 6})
+	counts := make([]int, 3)
+	const n = 120000
+	for i := 0; i < n; i++ {
+		counts[c.Draw()]++
+	}
+	want := []float64{0.1, 0.3, 0.6}
+	for i, w := range want {
+		got := float64(counts[i]) / n
+		if math.Abs(got-w) > 0.02 {
+			t.Fatalf("category %d frequency = %v, want ~%v", i, got, w)
+		}
+	}
+}
+
+func TestCategoricalErrors(t *testing.T) {
+	s := New(43)
+	if _, err := NewCategorical(s, nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewCategorical(s, []float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+	if _, err := NewCategorical(s, []float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestCategoricalZeroWeightNeverDrawn(t *testing.T) {
+	s := New(47)
+	c := MustCategorical(s, []float64{0, 1, 0})
+	for i := 0; i < 10000; i++ {
+		if v := c.Draw(); v != 1 {
+			t.Fatalf("zero-weight category drawn: %d", v)
+		}
+	}
+}
+
+// Property: Intn is always in range for any positive n and any seed.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		nn := int(n%1000) + 1
+		s := New(seed)
+		for i := 0; i < 32; i++ {
+			v := s.Intn(nn)
+			if v < 0 || v >= nn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: equal seeds always produce equal streams.
+func TestQuickSeedDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

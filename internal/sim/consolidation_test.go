@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"offloadsim/internal/cpu"
+	"offloadsim/internal/migration"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/workloads"
+)
+
+func TestPerCoreWorkloads(t *testing.T) {
+	cfg := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	cfg.UserCores = 2
+	cfg.Workloads = []*workloads.Profile{workloads.Apache(), workloads.Derby()}
+	cfg.Threshold = 100
+	r := MustNew(cfg).Run()
+	if r.Workload != "mixed" {
+		t.Fatalf("mixed run labeled %q", r.Workload)
+	}
+	if len(r.PerCoreIPC) != 2 {
+		t.Fatalf("per-core IPC entries = %d", len(r.PerCoreIPC))
+	}
+	// Derby is far less OS-intensive, so the two cores must behave
+	// visibly differently.
+	if r.PerCoreIPC[0] == r.PerCoreIPC[1] {
+		t.Fatal("distinct workloads produced identical IPCs")
+	}
+}
+
+func TestPerCoreWorkloadValidation(t *testing.T) {
+	cfg := quickCfg(workloads.Apache(), policy.Baseline)
+	cfg.UserCores = 2
+	cfg.Workloads = []*workloads.Profile{workloads.Apache()} // wrong length
+	if cfg.Validate() == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	cfg.Workloads = []*workloads.Profile{workloads.Apache(), nil}
+	if cfg.Validate() == nil {
+		t.Fatal("nil per-core workload accepted")
+	}
+	cfg.Workloads = nil
+	cfg.Workload = nil
+	if cfg.Validate() == nil {
+		t.Fatal("no workload at all accepted")
+	}
+}
+
+func TestSMTOSCoreReducesQueuing(t *testing.T) {
+	mk := func(slots int) Result {
+		cfg := quickCfg(workloads.SPECjbb(), policy.HardwarePredictor)
+		cfg.Threshold = 100
+		cfg.Migration = migration.Custom(1000)
+		cfg.UserCores = 4
+		cfg.OSCoreSlots = slots
+		cfg.WarmupInstrs = 40_000
+		cfg.MeasureInstrs = 120_000
+		return MustNew(cfg).Run()
+	}
+	one := mk(1)
+	two := mk(2)
+	if two.MeanQueueDelay >= one.MeanQueueDelay {
+		t.Fatalf("2-context OS core did not reduce queuing: %v vs %v",
+			two.MeanQueueDelay, one.MeanQueueDelay)
+	}
+	if two.Throughput <= one.Throughput*0.95 {
+		t.Fatalf("SMT OS core hurt throughput: %v vs %v", two.Throughput, one.Throughput)
+	}
+}
+
+func TestNegativeSlotsRejected(t *testing.T) {
+	cfg := quickCfg(workloads.Derby(), policy.HardwarePredictor)
+	cfg.OSCoreSlots = -1
+	if cfg.Validate() == nil {
+		t.Fatal("negative slots accepted")
+	}
+}
+
+func TestHeterogeneousOSCore(t *testing.T) {
+	// An OS core with quarter-size L1s (the asymmetric-CMP design) must
+	// still deliver most of the off-loading benefit: OS working sets are
+	// small and heavily reused.
+	full := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	full.Threshold = 100
+	fullRes := MustNew(full).Run()
+
+	small := full
+	osCPU := cpu.DefaultConfig()
+	osCPU.L1I.SizeBytes = 8 << 10
+	osCPU.L1D.SizeBytes = 8 << 10
+	small.OSCPU = &osCPU
+	smallRes := MustNew(small).Run()
+
+	if smallRes.Throughput < fullRes.Throughput*0.85 {
+		t.Fatalf("quarter-L1 OS core lost %.1f%% throughput; OS execution should tolerate small L1s",
+			100*(1-smallRes.Throughput/fullRes.Throughput))
+	}
+}
+
+func TestHeterogeneousOSCoreValidation(t *testing.T) {
+	cfg := quickCfg(workloads.Derby(), policy.HardwarePredictor)
+	bad := cpu.DefaultConfig()
+	bad.IFetchInterval = 0
+	cfg.OSCPU = &bad
+	if cfg.Validate() == nil {
+		t.Fatal("invalid OS core config accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"offloadsim/internal/core"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/workloads"
+)
+
+func TestPhasedConfigValidation(t *testing.T) {
+	cfg := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	cfg.PhaseProfiles = []*workloads.Profile{workloads.Mcf()}
+	if cfg.Validate() == nil {
+		t.Fatal("phase profiles without PhaseInstrs accepted")
+	}
+	cfg.PhaseInstrs = 50_000
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid phased config rejected: %v", err)
+	}
+	cfg.PhaseProfiles = []*workloads.Profile{nil}
+	if cfg.Validate() == nil {
+		t.Fatal("nil phase profile accepted")
+	}
+}
+
+func TestPhasedRunBlendsBehaviour(t *testing.T) {
+	pure := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	pure.Threshold = 100
+	pureRes := MustNew(pure).Run()
+
+	mixed := pure
+	mixed.PhaseProfiles = []*workloads.Profile{workloads.Mcf()}
+	mixed.PhaseInstrs = 40_000
+	mixedRes := MustNew(mixed).Run()
+
+	// Half the time in a nearly-OS-free compute phase: privileged share
+	// and off-load traffic must drop relative to pure apache.
+	if mixedRes.PrivFraction >= pureRes.PrivFraction {
+		t.Fatalf("phased privileged share %v not below pure apache %v",
+			mixedRes.PrivFraction, pureRes.PrivFraction)
+	}
+	if mixedRes.Offloads >= pureRes.Offloads {
+		t.Fatalf("phased off-loads %d not below pure %d", mixedRes.Offloads, pureRes.Offloads)
+	}
+}
+
+func TestTunerSurvivesPhaseChanges(t *testing.T) {
+	// §III-B: the epoch mechanism must keep functioning when the program
+	// alternates phases; this checks it keeps sampling and ends on a
+	// ladder value rather than wedging.
+	cfg := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	cfg.PhaseProfiles = []*workloads.Profile{workloads.Mcf()}
+	cfg.PhaseInstrs = 60_000
+	cfg.DynamicN = true
+	tc := core.DefaultTunerConfig()
+	tc.SampleEpoch = 25_000
+	tc.BaseRun = 100_000
+	tc.MaxRun = 400_000
+	cfg.Tuner = tc
+	cfg.WarmupInstrs = 60_000
+	cfg.MeasureInstrs = 500_000
+	r := MustNew(cfg).Run()
+	if len(r.TunerHistory) < 4 {
+		t.Fatalf("tuner sampled only %d epochs across phases", len(r.TunerHistory))
+	}
+	onLadder := false
+	for _, n := range tc.Ladder {
+		if r.Threshold == n {
+			onLadder = true
+		}
+	}
+	if !onLadder {
+		t.Fatalf("final threshold %d off the ladder", r.Threshold)
+	}
+}

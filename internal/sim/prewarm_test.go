@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"offloadsim/internal/core"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/workloads"
+)
+
+func TestPrewarmTrainsRareClasses(t *testing.T) {
+	// With a primed table, even a short run should make correct
+	// decisions on first-sight long calls; a cold table falls back to
+	// the (trap-dominated) global average and misses some.
+	warm := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	warm.Threshold = 100
+	wres := MustNew(warm).Run()
+
+	cold := warm
+	cold.ColdPredictor = true
+	cres := MustNew(cold).Run()
+
+	if wres.BinaryAccuracy < cres.BinaryAccuracy-0.02 {
+		t.Fatalf("primed predictor (%v) should not be less accurate than cold (%v)",
+			wres.BinaryAccuracy, cres.BinaryAccuracy)
+	}
+	if wres.BinaryAccuracy < 0.90 {
+		t.Fatalf("primed binary accuracy %v, want >= 0.90 even at quick scale", wres.BinaryAccuracy)
+	}
+}
+
+func TestPrewarmSkippedForNonPredictorPolicies(t *testing.T) {
+	// Baseline and SI have no predictor; construction must not panic
+	// and behaviour must be unchanged by the flag.
+	for _, kind := range []policy.Kind{policy.Baseline, policy.StaticInstrumentation, policy.Oracle} {
+		a := quickCfg(workloads.Derby(), kind)
+		b := a
+		b.ColdPredictor = true
+		ra := MustNew(a).Run()
+		rb := MustNew(b).Run()
+		if ra.Throughput != rb.Throughput {
+			t.Fatalf("%v: ColdPredictor changed a policy without a predictor", kind)
+		}
+	}
+}
+
+func TestOraclePolicyRuns(t *testing.T) {
+	cfg := quickCfg(workloads.Apache(), policy.Oracle)
+	cfg.Threshold = 100
+	r := MustNew(cfg).Run()
+	if r.Offloads == 0 {
+		t.Fatal("oracle never off-loaded")
+	}
+	if r.OverheadCycles != 0 {
+		t.Fatal("oracle charged decision overhead")
+	}
+	if r.Policy != "oracle" {
+		t.Fatalf("policy label %q", r.Policy)
+	}
+}
+
+func TestOracleAtLeastAsGoodAsHI(t *testing.T) {
+	hi := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	hi.Threshold = 100
+	hi.WarmupInstrs = 150_000
+	hi.MeasureInstrs = 300_000
+	or := hi
+	or.Policy = policy.Oracle
+	hiRes := MustNew(hi).Run()
+	orRes := MustNew(or).Run()
+	// Allow a small noise band: different policies perturb the access
+	// stream interleaving.
+	if orRes.Throughput < hiRes.Throughput*0.97 {
+		t.Fatalf("oracle (%v) materially below HI (%v)", orRes.Throughput, hiRes.Throughput)
+	}
+}
+
+func TestTunerHistoryExposed(t *testing.T) {
+	cfg := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	cfg.DynamicN = true
+	tc := core.DefaultTunerConfig()
+	tc.SampleEpoch = 20_000
+	tc.BaseRun = 80_000
+	tc.MaxRun = 320_000
+	cfg.Tuner = tc
+	cfg.WarmupInstrs = 60_000
+	cfg.MeasureInstrs = 400_000
+	r := MustNew(cfg).Run()
+	if len(r.TunerHistory) == 0 {
+		t.Fatal("dynamic run recorded no tuner history")
+	}
+	for _, s := range r.TunerHistory {
+		if s.Instructions == 0 {
+			t.Fatal("epoch with zero instruction budget")
+		}
+	}
+}

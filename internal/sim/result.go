@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"offloadsim/internal/core"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/stats"
+)
+
+// Result is the measured outcome of one simulation run.
+type Result struct {
+	Workload  string
+	Policy    string
+	Threshold int // final threshold (after any dynamic tuning)
+	OneWay    int
+	UserCores int
+
+	// Throughput is aggregate user-core throughput: the sum over user
+	// cores of workload instructions retired per elapsed cycle. For one
+	// single-threaded core this is IPC (§II "For single threaded
+	// applications, throughput is equivalent to IPC").
+	Throughput float64
+	// PerCoreIPC lists each user core's instructions-per-cycle.
+	PerCoreIPC []float64
+
+	// Instrs and Cycles aggregate across user cores (cycles = max
+	// elapsed among them).
+	Instrs uint64
+	Cycles uint64
+
+	// Cache behaviour.
+	UserL2HitRate float64
+	OSL2HitRate   float64
+	UserL1DHit    float64
+
+	// Off-loading activity.
+	OSEntries      uint64
+	Offloads       uint64
+	OffloadRate    float64
+	OverheadCycles uint64
+
+	// OS core service metrics (§V-C).
+	OSCoreUtilization float64
+	MeanQueueDelay    float64
+	MaxQueueDelay     float64
+
+	// Coherence traffic.
+	C2CTransfers     uint64
+	Invalidations    uint64
+	MemoryFills      uint64
+	MemoryWritebacks uint64
+
+	// Energy-model inputs: cycles the user cores spent idle-eligible
+	// (waiting on migrations), the OS core's busy cycles, and whether an
+	// OS core existed at all.
+	UserIdleCycles uint64
+	OSBusyCycles   uint64
+	HasOSCore      bool
+
+	// Predictor quality (predictor-based policies only). Exact/Within5
+	// and BinaryAccuracy score system calls only, following §IV's
+	// convention of omitting the SPARC window-trap population from
+	// statistics it would skew; the AllEntry variants include every
+	// privileged entry (traps included).
+	PredictorExact         float64
+	PredictorWithin5       float64
+	BinaryAccuracy         float64
+	AllEntryExact          float64
+	AllEntryBinaryAccuracy float64
+
+	// PrivFraction is the workload's generated privileged share.
+	PrivFraction float64
+
+	// TunerChanges counts adopted-threshold changes (dynamic N runs).
+	TunerChanges int
+
+	// TunerHistory is core 0's epoch-by-epoch (threshold, hit-rate)
+	// trail when dynamic N is enabled; nil otherwise.
+	TunerHistory []core.Sample
+}
+
+// collect gathers the result after measurement completes.
+func (s *Simulator) collect() Result {
+	name := s.cfg.profileFor(0).Name
+	for i := 1; i < s.cfg.UserCores; i++ {
+		if p := s.cfg.profileFor(i); p.Name != name {
+			name = "mixed"
+			break
+		}
+	}
+	r := Result{
+		Workload:  name,
+		Policy:    s.cfg.Policy.String(),
+		Threshold: s.cfg.Threshold,
+		OneWay:    s.cfg.Migration.OneWay,
+		UserCores: s.cfg.UserCores,
+	}
+
+	var sumIPC float64
+	var maxElapsed uint64
+	var userHits, userAcc uint64
+	var l1dHits, l1dAcc uint64
+	for _, u := range s.users {
+		elapsed := u.clock - u.measureStart
+		retired := u.retired - u.retiredAtMeas
+		ipc := 0.0
+		if elapsed > 0 {
+			ipc = float64(retired) / float64(elapsed)
+		}
+		r.PerCoreIPC = append(r.PerCoreIPC, ipc)
+		sumIPC += ipc
+		if elapsed > maxElapsed {
+			maxElapsed = elapsed
+		}
+		r.Instrs += retired
+
+		l2 := s.sys.L2(u.core.Node())
+		userHits += l2.Stats.Hits.Value()
+		userAcc += l2.Stats.Accesses.Value()
+		l1dHits += u.core.L1D().Stats.Hits.Value()
+		l1dAcc += u.core.L1D().Stats.Accesses.Value()
+
+		r.UserIdleCycles += u.core.Counters.IdleCyc.Value()
+		r.OSEntries += u.pol.Stats().Entries.Value()
+		r.Offloads += u.pol.Stats().Offloads.Value()
+		r.OverheadCycles += u.pol.Stats().OverheadCycles.Value()
+
+		if eng := policy.Engine(u.pol); eng != nil {
+			// Reported accuracy covers system calls only: §IV omits the
+			// SPARC window-trap invocations from statistics they would
+			// skew. Averaged across cores (same workload class).
+			acc := policy.SyscallAccuracy(u.pol)
+			r.PredictorExact += acc.ExactRate() / float64(len(s.users))
+			r.PredictorWithin5 += acc.Within5Rate() / float64(len(s.users))
+			if ba, ok := policy.SyscallBinaryAccuracy(u.pol); ok {
+				r.BinaryAccuracy += ba / float64(len(s.users))
+			}
+			r.AllEntryExact += eng.Predictor().Accuracy().ExactRate() / float64(len(s.users))
+			r.AllEntryBinaryAccuracy += eng.BinaryAccuracy() / float64(len(s.users))
+			r.Threshold = eng.Threshold()
+		}
+		if u.tun != nil {
+			r.TunerChanges += u.tun.Changes()
+			if r.TunerHistory == nil {
+				r.TunerHistory = append(r.TunerHistory, u.tun.History()...)
+			}
+		}
+		r.PrivFraction = u.gen.SourceStats().PrivFraction()
+	}
+	r.Throughput = sumIPC
+	r.Cycles = maxElapsed
+	r.UserL2HitRate = stats.Ratio(userHits, userAcc)
+	r.UserL1DHit = stats.Ratio(l1dHits, l1dAcc)
+	r.OffloadRate = stats.Ratio(r.Offloads, r.OSEntries)
+
+	if s.osCore != nil {
+		r.HasOSCore = true
+		ol2 := s.sys.L2(s.osNode)
+		r.OSL2HitRate = ol2.Stats.HitRate()
+		r.OSCoreUtilization = s.osQueue.Utilization(maxElapsed)
+		r.OSBusyCycles = s.osQueue.BusyCycles.Value()
+		r.MeanQueueDelay = s.osQueue.QueueDelay.Mean()
+		r.MaxQueueDelay = s.osQueue.QueueDelay.Max()
+	}
+	cs := &s.sys.Stats
+	r.C2CTransfers = cs.C2CTransfers.Value()
+	r.Invalidations = cs.Invalidations.Value()
+	r.MemoryFills = cs.MemoryFills.Value()
+	r.MemoryWritebacks = s.sys.Memory().Writebacks()
+	return r
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s N=%d lat=%d cores=%d: tput=%.4f offl=%s osUtil=%s",
+		r.Workload, r.Policy, r.Threshold, r.OneWay, r.UserCores,
+		r.Throughput, stats.Pct(r.OffloadRate), stats.Pct(r.OSCoreUtilization))
+	return b.String()
+}

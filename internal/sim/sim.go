@@ -1,0 +1,534 @@
+// Package sim assembles the full simulated system: user cores running
+// workload traces, an optional dedicated OS core, the coherent memory
+// hierarchy, an off-loading policy per user core, the migration engine and
+// the dynamic threshold tuner. It reproduces the paper's experimental
+// setup (§IV): the baseline executes everything on a single core with one
+// private L2; off-loading configurations add an OS core with its own L2,
+// kept coherent by the directory protocol.
+//
+// The simulation is discrete-event at segment granularity: user cores
+// advance local clocks segment by segment, scheduled in clock order, and
+// off-loaded invocations serialize through the OS core's reservation
+// queue (so OS-core contention and queuing delay emerge naturally, §V-C).
+package sim
+
+import (
+	"fmt"
+
+	"offloadsim/internal/coherence"
+	"offloadsim/internal/core"
+	"offloadsim/internal/cpu"
+	"offloadsim/internal/migration"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/rng"
+	"offloadsim/internal/syscalls"
+	"offloadsim/internal/trace"
+	"offloadsim/internal/workloads"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Workload is the benchmark profile every user core runs.
+	Workload *workloads.Profile
+	// Workloads optionally assigns a distinct profile to each user core
+	// (consolidated-server scenarios, §I's motivation); when set, its
+	// length must equal UserCores and it overrides Workload.
+	Workloads []*workloads.Profile
+	// PhaseProfiles, when non-empty, makes every user core alternate
+	// between these profiles and its base profile every PhaseInstrs
+	// instructions — the program-phase behaviour the §III-B tuner must
+	// re-adapt to.
+	PhaseProfiles []*workloads.Profile
+	// PhaseInstrs is the phase length in instructions (required when
+	// PhaseProfiles is set).
+	PhaseInstrs uint64
+	// Policy selects the off-loading decision mechanism.
+	Policy policy.Kind
+	// Overheads are the per-entry decision costs.
+	Overheads policy.Overheads
+	// Threshold is the static off-load threshold N in instructions
+	// (predictor-based policies only).
+	Threshold int
+	// DynamicN enables the §III-B epoch tuner, which overrides
+	// Threshold after the first epoch.
+	DynamicN bool
+	// Tuner parameterizes the dynamic tuner when DynamicN is set.
+	Tuner core.TunerConfig
+	// Migration is the off-load transport.
+	Migration migration.Engine
+	// UserCores is the number of user cores sharing the one OS core.
+	UserCores int
+	// OSCoreSlots is the OS core's hardware context count: 1 (default)
+	// is the paper's non-SMT core; >1 models the SMT extension §V-C
+	// suggests for serving multiple user cores.
+	OSCoreSlots int
+	// InstrumentOnly charges decision overhead but suppresses all
+	// migrations — the Figure 1 configuration that isolates software
+	// instrumentation cost.
+	InstrumentOnly bool
+	// DirectMappedPredictor selects the 1500-entry tag-less predictor
+	// organization instead of the 200-entry CAM.
+	DirectMappedPredictor bool
+	// ColdPredictor disables profile-priming of DI/HI predictor tables.
+	// By default tables start primed with each syscall class's nominal
+	// length — the counterpart of the offline profiling SI is granted,
+	// and the state the hardware converges to within the first tens of
+	// millions of instructions of a paper-scale run. Our measurement
+	// windows are ~1000x shorter, so an unprimed rare-class first
+	// encounter (one execve mispredicted onto the user core) would
+	// otherwise dominate an entire run.
+	ColdPredictor bool
+
+	// WarmupInstrs and MeasureInstrs are per-user-core instruction
+	// budgets; statistics reset after warmup.
+	WarmupInstrs  uint64
+	MeasureInstrs uint64
+
+	// Seed drives all stochastic behaviour.
+	Seed uint64
+
+	// CPU and Coherence configure the hardware substrate; zero values
+	// take the Table II defaults.
+	CPU       cpu.Config
+	Coherence coherence.Config
+	// OSCPU, when non-nil, configures the OS core's front end separately
+	// from the user cores — the asymmetric-CMP design of Mogul et al.
+	// (§VI-B): OS execution tolerates a simpler, lower-power core, e.g.
+	// with smaller L1s.
+	OSCPU *cpu.Config
+}
+
+// DefaultConfig returns a single-user-core Table II configuration running
+// the hardware policy at N=1000 over the aggressive migration engine.
+func DefaultConfig(prof *workloads.Profile) Config {
+	return Config{
+		Workload:      prof,
+		Policy:        policy.HardwarePredictor,
+		Overheads:     policy.DefaultOverheads(),
+		Threshold:     1000,
+		Migration:     migration.Aggressive(),
+		UserCores:     1,
+		WarmupInstrs:  300_000,
+		MeasureInstrs: 1_000_000,
+		Seed:          1,
+		CPU:           cpu.DefaultConfig(),
+		Coherence:     coherence.DefaultConfig(),
+	}
+}
+
+// offloadCapable reports whether the configuration includes an OS core.
+func (c *Config) offloadCapable() bool {
+	return c.Policy != policy.Baseline
+}
+
+// profileFor returns the profile user core i runs.
+func (c *Config) profileFor(i int) *workloads.Profile {
+	if len(c.Workloads) > 0 {
+		return c.Workloads[i]
+	}
+	return c.Workload
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if len(c.Workloads) > 0 {
+		if len(c.Workloads) != c.UserCores {
+			return fmt.Errorf("sim: %d per-core workloads for %d cores", len(c.Workloads), c.UserCores)
+		}
+		for i, p := range c.Workloads {
+			if p == nil {
+				return fmt.Errorf("sim: nil workload for core %d", i)
+			}
+			if err := p.Validate(); err != nil {
+				return err
+			}
+		}
+	} else {
+		if c.Workload == nil {
+			return fmt.Errorf("sim: nil workload")
+		}
+		if err := c.Workload.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.OSCoreSlots < 0 {
+		return fmt.Errorf("sim: negative OSCoreSlots")
+	}
+	if len(c.PhaseProfiles) > 0 {
+		if c.PhaseInstrs == 0 {
+			return fmt.Errorf("sim: PhaseProfiles set without PhaseInstrs")
+		}
+		for i, p := range c.PhaseProfiles {
+			if p == nil {
+				return fmt.Errorf("sim: nil phase profile %d", i)
+			}
+			if err := p.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := c.Overheads.Validate(); err != nil {
+		return err
+	}
+	if err := c.Migration.Validate(); err != nil {
+		return err
+	}
+	if c.UserCores < 1 {
+		return fmt.Errorf("sim: UserCores %d < 1", c.UserCores)
+	}
+	if c.MeasureInstrs == 0 {
+		return fmt.Errorf("sim: MeasureInstrs must be positive")
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("sim: negative threshold")
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if c.OSCPU != nil {
+		if err := c.OSCPU.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.DynamicN {
+		if err := c.Tuner.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// userCtx is the per-user-core simulation state.
+type userCtx struct {
+	core *cpu.Core
+	gen  trace.Source
+	pol  policy.Policy
+	tun  *core.Tuner
+
+	clock         uint64
+	retired       uint64 // workload instructions retired (incl. off-loaded)
+	measureStart  uint64 // clock at measurement start
+	retiredAtMeas uint64
+
+	// epoch bookkeeping for the dynamic tuner
+	epochRetired uint64
+	epochTarget  uint64
+	snapClock    uint64
+	snapRetired  uint64
+
+	// tuningEnabled gates the epoch machinery: the tuner only samples
+	// once warmup ends, so cold-cache transients cannot masquerade as
+	// threshold quality.
+	tuningEnabled bool
+
+	// hooks installed by the Simulator so advance() can reach system
+	// state without a back-pointer
+	epochHitRateFn func() float64
+	resnapshot     func()
+}
+
+// Simulator is one configured system ready to run.
+type Simulator struct {
+	cfg     Config
+	sys     *coherence.System
+	users   []*userCtx
+	osCore  *cpu.Core
+	osQueue *migration.OSCore
+	osNode  int
+}
+
+// New builds a simulator from cfg.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CPU.IFetchInterval == 0 {
+		cfg.CPU = cpu.DefaultConfig()
+	}
+	if cfg.Coherence.NumNodes == 0 {
+		cfg.Coherence = coherence.DefaultConfig()
+	}
+	nodes := cfg.UserCores
+	if cfg.offloadCapable() {
+		nodes++
+	}
+	cfg.Coherence.NumNodes = nodes
+
+	root := rng.New(cfg.Seed)
+	sys, err := coherence.New(cfg.Coherence, root.Fork())
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, sys: sys, osNode: cfg.UserCores}
+
+	space := &trace.AddressSpace{}
+	kernel := trace.NewKernelLayout(space, root.Fork())
+
+	for i := 0; i < cfg.UserCores; i++ {
+		c, err := cpu.New(i, i, cfg.CPU, sys)
+		if err != nil {
+			return nil, err
+		}
+		prof := cfg.profileFor(i)
+		base, err := trace.NewGenerator(prof, i, kernel, space, root.Fork())
+		if err != nil {
+			return nil, err
+		}
+		var gen trace.Source = base
+		if len(cfg.PhaseProfiles) > 0 {
+			gens := []*trace.Generator{base}
+			for _, pp := range cfg.PhaseProfiles {
+				pg, err := trace.NewGenerator(pp, i, kernel, space, root.Fork())
+				if err != nil {
+					return nil, err
+				}
+				gens = append(gens, pg)
+			}
+			gen = trace.NewPhased(gens, cfg.PhaseInstrs)
+		}
+		pol, err := s.buildPolicy()
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.ColdPredictor {
+			prewarmPolicy(pol, prof)
+			for _, pp := range cfg.PhaseProfiles {
+				prewarmPolicy(pol, pp)
+			}
+		}
+		ctx := &userCtx{core: c, gen: gen, pol: pol}
+		if cfg.DynamicN && supportsThreshold(cfg.Policy) {
+			tun, err := core.NewTuner(cfg.Tuner, prof.ExpectedOSShare())
+			if err != nil {
+				return nil, err
+			}
+			ctx.tun = tun
+			ctx.epochTarget = tun.EpochLength()
+			pol.SetThreshold(tun.Threshold())
+			ctx.snapshotEpoch(s)
+		}
+		s.users = append(s.users, ctx)
+	}
+	if cfg.offloadCapable() {
+		osCPU := cfg.CPU
+		if cfg.OSCPU != nil {
+			osCPU = *cfg.OSCPU
+		}
+		oc, err := cpu.New(s.osNode, s.osNode, osCPU, sys)
+		if err != nil {
+			return nil, err
+		}
+		s.osCore = oc
+		s.osQueue = migration.NewOSCore(cfg.OSCoreSlots)
+	}
+	return s, nil
+}
+
+// MustNew panics on configuration errors.
+func MustNew(cfg Config) *Simulator {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// prewarmPolicy primes a predictor-based policy's table with the nominal
+// run length of every (syscall, argument class) pair in the workload's
+// mix. Two updates raise the entry confidence above the global-fallback
+// gate.
+func prewarmPolicy(pol policy.Policy, prof *workloads.Profile) {
+	eng := policy.Engine(pol)
+	if eng == nil {
+		return
+	}
+	pred := eng.Predictor()
+	for _, m := range prof.Mix {
+		spec := syscalls.Lookup(m.ID)
+		for c := 0; c < spec.ArgClasses; c++ {
+			astate := trace.SyscallAState(m.ID, c)
+			pred.Update(astate, spec.Length(c))
+			pred.Update(astate, spec.Length(c))
+		}
+	}
+	pred.Accuracy().Reset()
+}
+
+func supportsThreshold(k policy.Kind) bool {
+	return k == policy.DynamicInstrumentation || k == policy.HardwarePredictor || k == policy.Oracle
+}
+
+func (s *Simulator) buildPolicy() (policy.Policy, error) {
+	switch s.cfg.Policy {
+	case policy.Baseline:
+		return policy.NewBaseline(), nil
+	case policy.StaticInstrumentation:
+		return policy.NewStatic(s.cfg.Migration.OneWay, s.cfg.Overheads), nil
+	case policy.DynamicInstrumentation, policy.HardwarePredictor:
+		var pred core.Predictor
+		if s.cfg.DirectMappedPredictor {
+			pred = core.NewDirectMappedPredictor(core.DefaultDirectMappedEntries)
+		} else {
+			pred = core.NewCAMPredictor(core.DefaultCAMEntries)
+		}
+		if s.cfg.Policy == policy.DynamicInstrumentation {
+			return policy.NewDynamic(pred, s.cfg.Threshold, s.cfg.Overheads), nil
+		}
+		return policy.NewHardware(pred, s.cfg.Threshold, s.cfg.Overheads), nil
+	case policy.Oracle:
+		return policy.NewOracle(s.cfg.Threshold), nil
+	}
+	return nil, fmt.Errorf("sim: unknown policy kind %d", int(s.cfg.Policy))
+}
+
+// snapshotEpoch records the state the epoch feedback is measured against.
+func (u *userCtx) snapshotEpoch(s *Simulator) {
+	u.snapClock = u.clock
+	u.snapRetired = u.retired
+}
+
+// epochFeedback returns the core's throughput (workload instructions per
+// elapsed cycle, migrations and queuing included) over the epoch. §III-B
+// proposes the pooled user+OS L2 hit rate as the feedback counter; in
+// this memory model that signal is anti-correlated with throughput (an
+// idle OS core contributes no misses, so high thresholds always look
+// "better"), so the sampler is fed epoch IPC instead — an equally
+// available hardware counter. The sampling framework is unchanged; the
+// substitution is recorded in DESIGN.md.
+func (u *userCtx) epochFeedback(s *Simulator) float64 {
+	cycles := u.clock - u.snapClock
+	if cycles == 0 {
+		return 0
+	}
+	return float64(u.retired-u.snapRetired) / float64(cycles)
+}
+
+// step advances one user core by one segment.
+func (s *Simulator) step(u *userCtx) {
+	seg := u.gen.Next()
+	if !seg.IsOS() {
+		cycles := u.core.RunSegment(&seg)
+		u.clock += cycles
+		u.advance(&seg)
+		return
+	}
+
+	d := u.pol.Decide(&seg)
+	if d.Overhead > 0 {
+		u.core.Stall(uint64(d.Overhead))
+		u.clock += uint64(d.Overhead)
+	}
+
+	if d.Offload && !s.cfg.InstrumentOnly && s.osCore != nil {
+		oneWay := uint64(s.cfg.Migration.OneWay)
+		arrival := u.clock + oneWay
+		execCycles := s.osCore.RunSegment(&seg)
+		_, wait := s.osQueue.Reserve(arrival, execCycles)
+		total := oneWay + wait + execCycles + oneWay
+		u.core.Idle(total)
+		u.clock += total
+	} else {
+		cycles := u.core.RunSegment(&seg)
+		u.clock += cycles
+	}
+	u.pol.Observe(&seg, d, seg.Instrs)
+	u.advance(&seg)
+}
+
+// advance updates retirement and epoch bookkeeping after a segment.
+func (u *userCtx) advance(seg *trace.Segment) {
+	u.retired += uint64(seg.Instrs)
+	if u.tun == nil || !u.tuningEnabled {
+		return
+	}
+	u.epochRetired += uint64(seg.Instrs)
+	if u.epochRetired < u.epochTarget {
+		return
+	}
+	u.epochRetired = 0
+	// Feed the epoch's hit rate back; the tuner may change N.
+	u.tun.ReportEpoch(u.epochHitRateFn())
+	u.pol.SetThreshold(u.tun.Threshold())
+	u.epochTarget = u.tun.EpochLength()
+	u.resnapshot()
+}
+
+func (s *Simulator) installEpochHooks() {
+	for _, u := range s.users {
+		u := u
+		u.epochHitRateFn = func() float64 { return u.epochFeedback(s) }
+		u.resnapshot = func() { u.snapshotEpoch(s) }
+	}
+}
+
+// Run executes warmup plus measurement and returns the results.
+func (s *Simulator) Run() Result {
+	s.installEpochHooks()
+
+	// Warmup: run until every user core has retired WarmupInstrs.
+	if s.cfg.WarmupInstrs > 0 {
+		s.runUntil(func(u *userCtx) bool { return u.retired >= s.cfg.WarmupInstrs })
+	}
+	s.resetAfterWarmup()
+
+	// Measurement: run until every user core retires MeasureInstrs more.
+	s.runUntil(func(u *userCtx) bool {
+		return u.retired-u.retiredAtMeas >= s.cfg.MeasureInstrs
+	})
+	return s.collect()
+}
+
+// runUntil steps the system in clock order until every user core
+// satisfies done. Cores that finish early keep executing — freezing them
+// would skew the per-core clocks and corrupt the shared OS-core timeline
+// (a fast compute tenant would appear to submit requests millions of
+// cycles "in the past" of a slow server tenant). Throughput is a ratio,
+// so the extra segments do not bias per-core results.
+func (s *Simulator) runUntil(done func(*userCtx) bool) {
+	for {
+		allDone := true
+		for _, u := range s.users {
+			if !done(u) {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return
+		}
+		s.step(s.minClock())
+	}
+}
+
+// minClock returns the user core with the smallest local clock.
+func (s *Simulator) minClock() *userCtx {
+	best := s.users[0]
+	for _, u := range s.users[1:] {
+		if u.clock < best.clock {
+			best = u
+		}
+	}
+	return best
+}
+
+func (s *Simulator) resetAfterWarmup() {
+	s.sys.ResetStats()
+	for _, u := range s.users {
+		u.core.ResetStats()
+		u.measureStart = u.clock
+		u.retiredAtMeas = u.retired
+		// Policy decision stats restart; predictor training persists,
+		// as warmed hardware state should.
+		*u.pol.Stats() = policy.Stats{}
+		policy.ResetAccuracyBooks(u.pol)
+		if u.tun != nil {
+			u.tuningEnabled = true
+			u.epochRetired = 0
+			u.snapshotEpoch(s)
+		}
+	}
+	if s.osCore != nil {
+		s.osCore.ResetStats()
+		s.osQueue.ResetStats()
+	}
+}

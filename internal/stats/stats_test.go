@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator should be 0")
+	}
+	if got := Ratio(3, 4); got != 0.75 {
+		t.Fatalf("Ratio(3,4) = %v", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.1234); got != "12.34%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Observe(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", r.Mean())
+	}
+	if math.Abs(r.Variance()-4) > 1e-12 {
+		t.Fatalf("Variance = %v, want 4", r.Variance())
+	}
+	if math.Abs(r.StdDev()-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", r.StdDev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.Min() != 0 || r.Max() != 0 {
+		t.Fatal("empty Running should report zeros")
+	}
+}
+
+func TestRunningReset(t *testing.T) {
+	var r Running
+	r.Observe(3)
+	r.Reset()
+	if r.N() != 0 || r.Mean() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(8)
+	h.Observe(0)   // bucket 0
+	h.Observe(0.5) // bucket 0
+	h.Observe(1)   // bucket 1 [1,2)
+	h.Observe(3)   // bucket 2 [2,4)
+	h.Observe(100) // bucket 7 clamped? log2(100)=6.64 -> 1+6=7
+	if h.Bucket(0) != 2 {
+		t.Fatalf("bucket 0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 {
+		t.Fatalf("bucket 1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(2) != 1 {
+		t.Fatalf("bucket 2 = %d", h.Bucket(2))
+	}
+	if h.Bucket(7) != 1 {
+		t.Fatalf("bucket 7 = %d", h.Bucket(7))
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramClampsOverflow(t *testing.T) {
+	h := NewHistogram(4)
+	h.Observe(1 << 30)
+	if h.Bucket(3) != 1 {
+		t.Fatal("overflow sample not clamped into last bucket")
+	}
+}
+
+func TestHistogramNegativeGoesToZeroBucket(t *testing.T) {
+	h := NewHistogram(4)
+	h.Observe(-5)
+	if h.Bucket(0) != 1 {
+		t.Fatal("negative sample not clamped to bucket 0")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(16)
+	h.Observe(10)
+	h.Observe(30)
+	if math.Abs(h.Mean()-20) > 1e-12 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramFractionAbove(t *testing.T) {
+	h := NewHistogram(16)
+	for i := 0; i < 10; i++ {
+		h.Observe(2) // bucket [2,4)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1024) // bucket [1024,2048)
+	}
+	if got := h.FractionAbove(512); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("FractionAbove(512) = %v", got)
+	}
+	if got := h.FractionAbove(1); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("FractionAbove(1) = %v", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(20)
+	for i := 0; i < 90; i++ {
+		h.Observe(4)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(4096)
+	}
+	if q := h.Quantile(0.5); q != 4 {
+		t.Fatalf("median = %v, want 4", q)
+	}
+	if q := h.Quantile(0.99); q != 4096 {
+		t.Fatalf("p99 = %v, want 4096", q)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(4)
+	if h.Quantile(0.5) != 0 || h.FractionAbove(10) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Append("a", 1)
+	s.Append("b", 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Last() != 3 {
+		t.Fatalf("Last = %v", s.Last())
+	}
+	if s.Mean() != 2 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median should be 0")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	// Median must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Fatalf("GeoMean of non-positives = %v, want 0", got)
+	}
+	// Non-positive entries are skipped, not zeroed.
+	if got := GeoMean([]float64{0, 8}); math.Abs(got-8) > 1e-12 {
+		t.Fatalf("GeoMean skipping zero = %v, want 8", got)
+	}
+}
+
+// Property: Running mean always lies within [min, max].
+func TestQuickRunningMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		any := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue // huge magnitudes overflow intermediate arithmetic
+			}
+			r.Observe(x)
+			any = true
+		}
+		if !any {
+			return true
+		}
+		return r.Mean() >= r.Min()-1e-9 && r.Mean() <= r.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram total equals the number of observations.
+func TestQuickHistogramTotal(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHistogram(32)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			h.Observe(x)
+			n++
+		}
+		var sum uint64
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		return h.Total() == uint64(n) && sum == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package syscalls
+
+import "fmt"
+
+// Category groups entry points by kernel subsystem; workload mixes and
+// trace summaries report composition at this granularity.
+type Category int
+
+const (
+	// CatTrap is the hardware trap handlers (spill/fill/TLB).
+	CatTrap Category = iota
+	// CatIdentity is fast getters and process-local state (getpid,
+	// time, sigprocmask, brk, sched_yield).
+	CatIdentity
+	// CatFile is file and descriptor I/O.
+	CatFile
+	// CatNetwork is socket I/O and readiness.
+	CatNetwork
+	// CatMemory is address-space management.
+	CatMemory
+	// CatProcess is process lifecycle (fork/exec/exit/...).
+	CatProcess
+	// CatIPC is synchronization and message passing.
+	CatIPC
+	// CatTime is timers and accounting.
+	CatTime
+
+	numCategories
+)
+
+// NumCategories is the number of categories.
+const NumCategories = int(numCategories)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CatTrap:
+		return "trap"
+	case CatIdentity:
+		return "identity"
+	case CatFile:
+		return "file"
+	case CatNetwork:
+		return "network"
+	case CatMemory:
+		return "memory"
+	case CatProcess:
+		return "process"
+	case CatIPC:
+		return "ipc"
+	case CatTime:
+		return "time"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// CategoryOf classifies an entry point. The ID space is laid out in
+// category order (see the const block in syscalls.go), so classification
+// is a range check; a test pins the boundaries.
+func CategoryOf(id ID) Category {
+	switch {
+	case id >= SpillTrap && id <= TLBMiss:
+		return CatTrap
+	case id >= Getpid && id <= Sched_yield:
+		return CatIdentity
+	case id >= Read && id <= Getdents:
+		return CatFile
+	case id >= Socket && id <= Shutdown:
+		return CatNetwork
+	case id >= Mmap && id <= Madvise:
+		return CatMemory
+	case id >= Fork && id <= Clone:
+		return CatProcess
+	case id >= Futex && id <= Shmat:
+		return CatIPC
+	case id >= Nanosleep && id <= Sysinfo:
+		return CatTime
+	}
+	panic(fmt.Sprintf("syscalls: id %d has no category", int(id)))
+}
+
+// ByCategory returns the catalog entries in the given category.
+func ByCategory(c Category) []*Spec {
+	var out []*Spec
+	for _, s := range All() {
+		if CategoryOf(s.ID) == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package syscalls
+
+// CensusEntry is one row of the paper's Table I: the number of distinct
+// system calls in a released operating system. The table motivates the
+// paper's core complaint about software instrumentation — there are
+// hundreds of entry points per OS/version, and the count keeps growing, so
+// hand-selecting and hand-instrumenting candidates does not scale.
+type CensusEntry struct {
+	OS       string
+	Syscalls int
+}
+
+// TableI reproduces the paper's Table I verbatim. Ordering matches the
+// paper (left column top-to-bottom, then right column).
+func TableI() []CensusEntry {
+	return []CensusEntry{
+		{"Linux 2.6.30", 344},
+		{"Linux 2.6.16", 310},
+		{"Linux 2.4.29", 259},
+		{"FreeBSD Current", 513},
+		{"FreeBSD 5.3", 444},
+		{"FreeBSD 2.2", 254},
+		{"OpenSolaris", 255},
+		{"Linux 2.2", 190},
+		{"Linux 1.0", 143},
+		{"Linux 0.01", 67},
+		{"Windows Vista", 360},
+		{"Windows XP", 288},
+		{"Windows 2000", 247},
+		{"Windows NT", 211},
+	}
+}

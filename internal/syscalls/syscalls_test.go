@@ -1,0 +1,227 @@
+package syscalls
+
+import (
+	"testing"
+	"testing/quick"
+
+	"offloadsim/internal/rng"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	for _, s := range All() {
+		if s.Name == "" {
+			t.Fatalf("syscall %d has empty name", s.ID)
+		}
+		if s.BaseLength < 1 {
+			t.Fatalf("%s: base length %d", s.Name, s.BaseLength)
+		}
+		if s.ArgClasses < 1 {
+			t.Fatalf("%s: arg classes %d", s.Name, s.ArgClasses)
+		}
+		if s.CodeLines <= 0 || s.DataLines <= 0 {
+			t.Fatalf("%s: footprints must be positive", s.Name)
+		}
+		if s.UserDataFrac < 0 || s.UserDataFrac > 1 {
+			t.Fatalf("%s: UserDataFrac %v", s.Name, s.UserDataFrac)
+		}
+	}
+}
+
+func TestLookupMatchesAll(t *testing.T) {
+	all := All()
+	for i, s := range all {
+		if Lookup(ID(i)) != s {
+			t.Fatalf("Lookup(%d) mismatch", i)
+		}
+		if s.ID != ID(i) {
+			t.Fatalf("entry %d has ID %d", i, s.ID)
+		}
+	}
+}
+
+func TestLookupPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lookup(-1) did not panic")
+		}
+	}()
+	Lookup(-1)
+}
+
+func TestLengthMonotonicInArgClass(t *testing.T) {
+	read := Lookup(Read)
+	prev := 0
+	for c := 0; c < read.ArgClasses; c++ {
+		n := read.Length(c)
+		if n <= prev && c > 0 {
+			t.Fatalf("read length not increasing at class %d", c)
+		}
+		prev = n
+	}
+}
+
+func TestLengthClampsClass(t *testing.T) {
+	s := Lookup(Read)
+	if s.Length(-5) != s.Length(0) {
+		t.Fatal("negative class not clamped to 0")
+	}
+	if s.Length(99) != s.Length(s.ArgClasses-1) {
+		t.Fatal("oversized class not clamped to max")
+	}
+}
+
+func TestTrapsAreShortAndMasked(t *testing.T) {
+	for _, id := range []ID{SpillTrap, FillTrap, TLBMiss} {
+		s := Lookup(id)
+		if !IsTrap(id) {
+			t.Fatalf("%s not classified as trap", s.Name)
+		}
+		if s.Length(0) >= 50 {
+			t.Fatalf("%s: trap handlers must be short, got %d", s.Name, s.Length(0))
+		}
+		if !s.MasksInterrupts {
+			t.Fatalf("%s: trap handlers run with interrupts masked", s.Name)
+		}
+	}
+	if IsTrap(Read) {
+		t.Fatal("read misclassified as trap")
+	}
+}
+
+func TestSampleLengthDeterministicWithoutNoise(t *testing.T) {
+	s := Lookup(Getpid)
+	// With jitter probability 10%, most samples equal the nominal length.
+	src := rng.New(1)
+	exact := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if s.SampleLength(0, src) == s.Length(0) {
+			exact++
+		}
+	}
+	frac := float64(exact) / n
+	if frac < 0.85 {
+		t.Fatalf("getpid exact fraction %v, want >= 0.85", frac)
+	}
+}
+
+func TestSampleLengthEarlyReturnShortens(t *testing.T) {
+	s := Lookup(Read)
+	src := rng.New(2)
+	shorter := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.SampleLength(3, src) < s.Length(3)*8/10 {
+			shorter++
+		}
+	}
+	// ShortReturnProb is 3%; early returns land at 35-70% of nominal so
+	// they all fall below 80% of the nominal length.
+	frac := float64(shorter) / n
+	if frac < 0.015 || frac > 0.06 {
+		t.Fatalf("read early-return fraction = %v, want ~0.03", frac)
+	}
+}
+
+func TestCensusMatchesPaper(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 14 {
+		t.Fatalf("Table I has %d rows, want 14", len(rows))
+	}
+	want := map[string]int{
+		"Linux 2.6.30":    344,
+		"FreeBSD Current": 513,
+		"OpenSolaris":     255,
+		"Windows Vista":   360,
+		"Linux 0.01":      67,
+	}
+	got := map[string]int{}
+	for _, r := range rows {
+		got[r.OS] = r.Syscalls
+	}
+	for os, n := range want {
+		if got[os] != n {
+			t.Fatalf("%s: %d syscalls, want %d", os, got[os], n)
+		}
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if Read.String() != "read" {
+		t.Fatalf("Read.String() = %q", Read.String())
+	}
+	if ID(-1).String() != "syscall(-1)" {
+		t.Fatalf("invalid ID string = %q", ID(-1).String())
+	}
+}
+
+// Property: SampleLength is always >= 1 and never exceeds the nominal
+// length by more than the 5% jitter bound.
+func TestQuickSampleLengthBounds(t *testing.T) {
+	f := func(seed uint64, idRaw uint8, class uint8) bool {
+		id := ID(int(idRaw) % NumIDs)
+		s := Lookup(id)
+		src := rng.New(seed)
+		n := s.SampleLength(int(class)%s.ArgClasses, src)
+		nominal := s.Length(int(class) % s.ArgClasses)
+		return n >= 1 && float64(n) <= float64(nominal)*1.05+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryIDHasACategory(t *testing.T) {
+	counts := map[Category]int{}
+	for _, s := range All() {
+		counts[CategoryOf(s.ID)]++ // must not panic for any catalog entry
+	}
+	if len(counts) != NumCategories {
+		t.Fatalf("only %d of %d categories populated: %v", len(counts), NumCategories, counts)
+	}
+}
+
+func TestCategoryBoundaries(t *testing.T) {
+	want := map[ID]Category{
+		SpillTrap: CatTrap, TLBMiss: CatTrap,
+		Getpid: CatIdentity, Sched_yield: CatIdentity,
+		Read: CatFile, Getdents: CatFile,
+		Socket: CatNetwork, Shutdown: CatNetwork,
+		Mmap: CatMemory, Madvise: CatMemory,
+		Fork: CatProcess, Clone: CatProcess,
+		Futex: CatIPC, Shmat: CatIPC,
+		Nanosleep: CatTime, Sysinfo: CatTime,
+	}
+	for id, cat := range want {
+		if got := CategoryOf(id); got != cat {
+			t.Errorf("CategoryOf(%v) = %v, want %v", id, got, cat)
+		}
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	traps := ByCategory(CatTrap)
+	if len(traps) != 3 {
+		t.Fatalf("trap category has %d members", len(traps))
+	}
+	files := ByCategory(CatFile)
+	if len(files) < 10 {
+		t.Fatalf("file category has only %d members", len(files))
+	}
+	total := 0
+	for c := Category(0); int(c) < NumCategories; c++ {
+		total += len(ByCategory(c))
+	}
+	if total != NumIDs {
+		t.Fatalf("categories cover %d of %d ids", total, NumIDs)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatFile.String() != "file" || CatTrap.String() != "trap" {
+		t.Fatal("category names wrong")
+	}
+	if Category(99).String() == "" {
+		t.Fatal("unknown category should still format")
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"testing"
+
+	"offloadsim/internal/rng"
+	"offloadsim/internal/syscalls"
+	"offloadsim/internal/workloads"
+)
+
+// SyscallAState must reproduce exactly the hash the generator computes at
+// each syscall entry, or predictor prewarming would train the wrong rows.
+func TestSyscallAStateMatchesGenerator(t *testing.T) {
+	g := newTestGen(t, workloads.Apache(), 53)
+	checked := 0
+	for i := 0; i < 40000 && checked < 200; i++ {
+		seg := g.Next()
+		if seg.Kind != SyscallSegment {
+			continue
+		}
+		want := SyscallAState(seg.Sys, seg.ArgClass)
+		if seg.AState != want {
+			t.Fatalf("%v class %d: generator AState %#x, standalone %#x",
+				seg.Sys, seg.ArgClass, seg.AState, want)
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d syscalls checked", checked)
+	}
+}
+
+func TestSyscallAStateDistinctPerClass(t *testing.T) {
+	spec := syscalls.Lookup(syscalls.Read)
+	seen := map[uint64]bool{}
+	for c := 0; c < spec.ArgClasses; c++ {
+		a := SyscallAState(syscalls.Read, c)
+		if seen[a] {
+			t.Fatalf("class %d collides with an earlier class", c)
+		}
+		seen[a] = true
+	}
+}
+
+func TestSyscallAStateStable(t *testing.T) {
+	// Pure function: repeated calls agree (no hidden state).
+	for i := 0; i < 5; i++ {
+		if SyscallAState(syscalls.Fork, 1) != SyscallAState(syscalls.Fork, 1) {
+			t.Fatal("SyscallAState is not deterministic")
+		}
+	}
+}
+
+func TestKernelPerClassRegionsDisjoint(t *testing.T) {
+	var space AddressSpace
+	k := NewKernelLayout(&space, rng.New(3))
+	spec := syscalls.Lookup(syscalls.Read)
+	for a := 0; a < spec.ArgClasses; a++ {
+		for b := a + 1; b < spec.ArgClasses; b++ {
+			ra, rb := k.SysDataClass(spec.ID, a), k.SysDataClass(spec.ID, b)
+			if ra.Base() < rb.Base()+uint64(rb.Lines()) && rb.Base() < ra.Base()+uint64(ra.Lines()) {
+				t.Fatalf("read class %d and %d data regions overlap", a, b)
+			}
+		}
+	}
+	// Larger classes get at least as much data as smaller ones.
+	prev := 0
+	for c := 0; c < spec.ArgClasses; c++ {
+		l := k.SysDataClass(spec.ID, c).Lines()
+		if l < prev {
+			t.Fatalf("class %d region (%d lines) smaller than class %d (%d)", c, l, c-1, prev)
+		}
+		prev = l
+	}
+}

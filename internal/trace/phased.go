@@ -1,0 +1,75 @@
+package trace
+
+// Source is anything that produces a segment stream; the simulator
+// consumes this interface so workloads can be composed (the plain
+// Generator, or the phase-alternating wrapper below).
+type Source interface {
+	// Next returns the next segment of the stream.
+	Next() Segment
+	// SourceStats exposes the generation accounting.
+	SourceStats() *GenStats
+}
+
+// SourceStats implements Source for the plain generator.
+func (g *Generator) SourceStats() *GenStats { return &g.Stats }
+
+// Phased alternates between several generators, switching every PhaseLen
+// generated instructions. It models the program-phase behaviour §III-B's
+// dynamic threshold estimation must survive: when the active phase
+// changes, the optimal N can move, and the epoch sampler has to notice
+// through its feedback metric and re-adapt.
+type Phased struct {
+	gens     []*Generator
+	phaseLen uint64
+
+	cur     int
+	inPhase uint64
+	merged  GenStats
+}
+
+// NewPhased wraps gens into an alternating stream with the given phase
+// length in instructions. It panics on an empty generator list or a zero
+// phase length, which are always construction bugs.
+func NewPhased(gens []*Generator, phaseLen uint64) *Phased {
+	if len(gens) == 0 {
+		panic("trace: NewPhased with no generators")
+	}
+	if phaseLen == 0 {
+		panic("trace: NewPhased with zero phase length")
+	}
+	return &Phased{gens: gens, phaseLen: phaseLen}
+}
+
+// Phase returns the index of the currently active generator.
+func (p *Phased) Phase() int { return p.cur }
+
+// Next implements Source. Phase switches happen on segment boundaries
+// (a real phase change cannot preempt the middle of a syscall either).
+func (p *Phased) Next() Segment {
+	if p.inPhase >= p.phaseLen {
+		p.inPhase = 0
+		p.cur = (p.cur + 1) % len(p.gens)
+	}
+	seg := p.gens[p.cur].Next()
+	p.inPhase += uint64(seg.Instrs)
+	return seg
+}
+
+// SourceStats implements Source by merging the child generators'
+// accounting into a snapshot.
+func (p *Phased) SourceStats() *GenStats {
+	p.merged = GenStats{}
+	for _, g := range p.gens {
+		p.merged.UserInstrs.Add(g.Stats.UserInstrs.Value())
+		p.merged.OSInstrs.Add(g.Stats.OSInstrs.Value())
+		p.merged.Syscalls.Add(g.Stats.Syscalls.Value())
+		p.merged.Traps.Add(g.Stats.Traps.Value())
+		p.merged.Interrupts.Add(g.Stats.Interrupts.Value())
+	}
+	return &p.merged
+}
+
+var (
+	_ Source = (*Generator)(nil)
+	_ Source = (*Phased)(nil)
+)

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"testing"
+
+	"offloadsim/internal/rng"
+	"offloadsim/internal/workloads"
+)
+
+func newPhased(t *testing.T, phaseLen uint64) *Phased {
+	t.Helper()
+	space := &AddressSpace{}
+	src := rng.New(61)
+	kernel := NewKernelLayout(space, src.Fork())
+	a := MustNewGenerator(workloads.Apache(), 0, kernel, space, src.Fork())
+	b := MustNewGenerator(workloads.Mcf(), 0, kernel, space, src.Fork())
+	return NewPhased([]*Generator{a, b}, phaseLen)
+}
+
+func TestPhasedAlternates(t *testing.T) {
+	p := newPhased(t, 50_000)
+	seen := map[int]bool{}
+	var instrs uint64
+	for instrs < 400_000 {
+		seg := p.Next()
+		instrs += uint64(seg.Instrs)
+		seen[p.Phase()] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("phases visited: %v", seen)
+	}
+}
+
+func TestPhasedPhaseLengthRespected(t *testing.T) {
+	p := newPhased(t, 30_000)
+	var inPhase uint64
+	prev := p.Phase()
+	switches := 0
+	for i := 0; i < 3000; i++ {
+		seg := p.Next()
+		if p.Phase() != prev {
+			// A switch must not happen before the phase budget filled.
+			if inPhase < 30_000 {
+				t.Fatalf("phase switched after only %d instructions", inPhase)
+			}
+			inPhase = 0
+			prev = p.Phase()
+			switches++
+		}
+		inPhase += uint64(seg.Instrs)
+	}
+	if switches < 2 {
+		t.Fatalf("only %d phase switches", switches)
+	}
+}
+
+func TestPhasedStatsMerge(t *testing.T) {
+	p := newPhased(t, 20_000)
+	var instrs uint64
+	for instrs < 100_000 {
+		seg := p.Next()
+		instrs += uint64(seg.Instrs)
+	}
+	st := p.SourceStats()
+	if st.UserInstrs.Value()+st.OSInstrs.Value() < 100_000 {
+		t.Fatal("merged stats lost instructions")
+	}
+	if st.Syscalls.Value() == 0 || st.Traps.Value() == 0 {
+		t.Fatal("merged stats missing activity")
+	}
+}
+
+func TestPhasedConstructionPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no generators": func() { NewPhased(nil, 100) },
+		"zero length":   func() { newPhased(t, 30_000); NewPhased([]*Generator{nil}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPhasedMixesPrivIntensity(t *testing.T) {
+	// Apache-phase segments are far more OS-dense than mcf-phase ones:
+	// the merged privileged share must land between the two profiles'.
+	p := newPhased(t, 100_000)
+	var instrs uint64
+	for instrs < 2_000_000 {
+		seg := p.Next()
+		instrs += uint64(seg.Instrs)
+	}
+	priv := p.SourceStats().PrivFraction()
+	if priv < 0.05 || priv > 0.45 {
+		t.Fatalf("blended privileged share %v outside (apache, mcf) envelope", priv)
+	}
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+
+	"offloadsim/internal/rng"
+	"offloadsim/internal/syscalls"
+)
+
+// SegmentKind classifies a contiguous stretch of single-mode execution.
+type SegmentKind int
+
+const (
+	// UserSegment is unprivileged application execution.
+	UserSegment SegmentKind = iota
+	// SyscallSegment is a privileged system-call invocation.
+	SyscallSegment
+	// TrapSegment is a short hardware trap handled in privileged mode
+	// (register-window spill/fill, TLB refill).
+	TrapSegment
+)
+
+// String implements fmt.Stringer.
+func (k SegmentKind) String() string {
+	switch k {
+	case UserSegment:
+		return "user"
+	case SyscallSegment:
+		return "syscall"
+	case TrapSegment:
+		return "trap"
+	}
+	return fmt.Sprintf("SegmentKind(%d)", int(k))
+}
+
+// maxSources bounds the number of data-access targets per segment.
+const maxSources = 6
+
+type dataSource struct {
+	region    *Region
+	cum       float64 // cumulative normalized weight
+	writeFrac float64
+}
+
+// Segment is one schedulable unit of execution. OS segments carry the
+// AState hash captured at the privileged-mode transition (the predictor's
+// index) and the ground-truth instruction count the predictor trains on.
+type Segment struct {
+	Kind     SegmentKind
+	Sys      syscalls.ID
+	ArgClass int
+
+	// AState is the XOR register hash at OS entry; zero for user
+	// segments.
+	AState uint64
+
+	// Instrs is the actual instruction count, including any interrupt
+	// extension.
+	Instrs int
+	// NominalInstrs is the pre-extension length (what argument-based
+	// software estimation could at best compute).
+	NominalInstrs int
+	// Interrupted marks invocations extended by an external interrupt.
+	Interrupted bool
+
+	// MemRatio is data references per instruction for this segment.
+	MemRatio float64
+
+	// code regions: ifetches come from codeMain, with codeAltProb
+	// directing a fraction to codeAlt (kernel common path or IRQ code).
+	codeMain    *Region
+	codeAlt     *Region
+	codeAltProb float64
+
+	sources  [maxSources]dataSource
+	nSources int
+
+	src *rng.Source
+}
+
+// setSources normalizes weights into the cumulative form Draw uses.
+// Pairs are (region, weight, writeFrac); zero-weight entries are dropped.
+func (s *Segment) setSources(entries ...dataSource) {
+	total := 0.0
+	for _, e := range entries {
+		total += e.cum // cum carries the raw weight here
+	}
+	if total <= 0 {
+		panic("trace: segment with no data sources")
+	}
+	s.nSources = 0
+	acc := 0.0
+	for _, e := range entries {
+		if e.cum <= 0 {
+			continue
+		}
+		acc += e.cum / total
+		s.sources[s.nSources] = dataSource{region: e.region, cum: acc, writeFrac: e.writeFrac}
+		s.nSources++
+	}
+	// Guard against floating-point shortfall on the last bucket.
+	s.sources[s.nSources-1].cum = 1.0
+}
+
+// NextData returns the next data reference of the segment: a line address
+// and whether it is a write.
+func (s *Segment) NextData() (lineAddr uint64, write bool) {
+	u := s.src.Float64()
+	for i := 0; i < s.nSources; i++ {
+		if u <= s.sources[i].cum {
+			src := &s.sources[i]
+			return src.region.Next(), s.src.Bool(src.writeFrac)
+		}
+	}
+	// Unreachable: the last cum is pinned to 1.0.
+	src := &s.sources[s.nSources-1]
+	return src.region.Next(), s.src.Bool(src.writeFrac)
+}
+
+// NextIFetch returns the next instruction-fetch line address.
+func (s *Segment) NextIFetch() uint64 {
+	if s.codeAlt != nil && s.src.Bool(s.codeAltProb) {
+		return s.codeAlt.Next()
+	}
+	return s.codeMain.Next()
+}
+
+// IsOS reports whether the segment executes in privileged mode.
+func (s *Segment) IsOS() bool { return s.Kind != UserSegment }

@@ -1,0 +1,216 @@
+// Package tracefile records and replays OS-entry decision traces: the
+// sequence of (segment kind, syscall, argument class, AState, run length)
+// tuples a workload presents to the off-loading hardware. A recorded
+// trace decouples predictor/policy studies from the timing simulator —
+// the same stream can be replayed through any Predictor implementation,
+// shared between machines, or inspected with cmd/tracedump — while
+// staying byte-for-byte reproducible.
+//
+// The format is a small magic header followed by varint-encoded records;
+// a typical apache trace costs ~10 bytes per OS entry.
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"offloadsim/internal/syscalls"
+	"offloadsim/internal/trace"
+)
+
+// magic identifies the format and its version.
+const magic = "OSLTRC1\n"
+
+// Record is one OS-entry event. User segments are not recorded: the
+// decision hardware only observes privileged-mode transitions, and
+// UserGap preserves the spacing it would have seen.
+type Record struct {
+	// Kind is the segment kind (SyscallSegment or TrapSegment).
+	Kind trace.SegmentKind
+	// Sys identifies the entry point.
+	Sys syscalls.ID
+	// ArgClass is the invocation's argument class.
+	ArgClass int
+	// AState is the register hash the predictor indexes with.
+	AState uint64
+	// Instrs is the invocation's actual run length.
+	Instrs int
+	// Interrupted marks invocations extended by an external interrupt.
+	Interrupted bool
+	// UserGap is the user-mode instruction count since the previous OS
+	// entry.
+	UserGap int
+}
+
+// Writer serializes records.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	count   uint64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) writeUvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.w.Write(buf[:n])
+	return err
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec Record) error {
+	if !w.started {
+		if _, err := w.w.WriteString(magic); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	flags := uint64(rec.Kind) & 0x3
+	if rec.Interrupted {
+		flags |= 0x4
+	}
+	for _, v := range []uint64{
+		flags,
+		uint64(rec.Sys),
+		uint64(rec.ArgClass),
+		rec.AState,
+		uint64(rec.Instrs),
+		uint64(rec.UserGap),
+	} {
+		if err := w.writeUvarint(v); err != nil {
+			return err
+		}
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush drains buffered output; call it before closing the destination.
+func (w *Writer) Flush() error {
+	if !w.started {
+		// An empty trace still carries the header so readers can
+		// distinguish "empty" from "not a trace".
+		if _, err := w.w.WriteString(magic); err != nil {
+			return err
+		}
+		w.started = true
+	}
+	return w.w.Flush()
+}
+
+// Reader deserializes records.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ErrBadMagic reports a stream that is not a trace file.
+var ErrBadMagic = errors.New("tracefile: bad magic (not an OS-entry trace)")
+
+// Read returns the next record, or io.EOF at a clean end of stream.
+func (r *Reader) Read() (Record, error) {
+	if !r.started {
+		head := make([]byte, len(magic))
+		if _, err := io.ReadFull(r.r, head); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				return Record{}, ErrBadMagic
+			}
+			return Record{}, err
+		}
+		if string(head) != magic {
+			return Record{}, ErrBadMagic
+		}
+		r.started = true
+	}
+	flags, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	var vals [5]uint64
+	for i := range vals {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return Record{}, fmt.Errorf("tracefile: truncated record: %w", err)
+		}
+		vals[i] = v
+	}
+	rec := Record{
+		Kind:        trace.SegmentKind(flags & 0x3),
+		Interrupted: flags&0x4 != 0,
+		Sys:         syscalls.ID(vals[0]),
+		ArgClass:    int(vals[1]),
+		AState:      vals[2],
+		Instrs:      int(vals[3]),
+		UserGap:     int(vals[4]),
+	}
+	if int(rec.Sys) < 0 || int(rec.Sys) >= syscalls.NumIDs {
+		return Record{}, fmt.Errorf("tracefile: record with invalid syscall id %d", rec.Sys)
+	}
+	return rec, nil
+}
+
+// ReadAll drains the stream into a slice.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Capture generates instrs worth of workload from src and writes the OS
+// entries it produces. It returns the number of records captured.
+func Capture(src trace.Source, instrs uint64, w io.Writer) (uint64, error) {
+	tw := NewWriter(w)
+	var generated uint64
+	userGap := 0
+	for generated < instrs {
+		seg := src.Next()
+		generated += uint64(seg.Instrs)
+		if !seg.IsOS() {
+			userGap += seg.Instrs
+			continue
+		}
+		err := tw.Write(Record{
+			Kind:        seg.Kind,
+			Sys:         seg.Sys,
+			ArgClass:    seg.ArgClass,
+			AState:      seg.AState,
+			Instrs:      seg.Instrs,
+			Interrupted: seg.Interrupted,
+			UserGap:     userGap,
+		})
+		if err != nil {
+			return tw.Count(), err
+		}
+		userGap = 0
+	}
+	return tw.Count(), tw.Flush()
+}

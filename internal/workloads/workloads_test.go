@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"testing"
+
+	"offloadsim/internal/syscalls"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestSuiteComposition(t *testing.T) {
+	if len(ServerSet()) != 3 {
+		t.Fatalf("server set has %d members, want 3", len(ServerSet()))
+	}
+	if len(ComputeSet()) != 6 {
+		t.Fatalf("compute set has %d members, want 6 (blackscholes, canneal, fasta_protein, mummer, mcf, hmmer)", len(ComputeSet()))
+	}
+	if len(All()) != 9 {
+		t.Fatalf("all = %d, want 9", len(All()))
+	}
+	for _, p := range ServerSet() {
+		if p.Class != Server {
+			t.Errorf("%s misclassified as %v", p.Name, p.Class)
+		}
+	}
+	for _, p := range ComputeSet() {
+		if p.Class != Compute {
+			t.Errorf("%s misclassified as %v", p.Name, p.Class)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("apache")
+	if !ok || p.Name != "apache" {
+		t.Fatal("ByName(apache) failed")
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Fatal("ByName(nosuch) succeeded")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("Names() has %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestOSIntensityOrdering(t *testing.T) {
+	// The paper's workload hierarchy: apache most OS-intensive, then
+	// specjbb, then derby, then the compute group.
+	apache := Apache().ExpectedOSShare()
+	jbb := SPECjbb().ExpectedOSShare()
+	derby := Derby().ExpectedOSShare()
+	mcf := Mcf().ExpectedOSShare()
+	if !(apache > jbb && jbb > derby && derby > mcf) {
+		t.Fatalf("OS share ordering violated: apache=%.3f jbb=%.3f derby=%.3f mcf=%.3f",
+			apache, jbb, derby, mcf)
+	}
+}
+
+func TestTableIIITailStructure(t *testing.T) {
+	// Derby must have (almost) no invocations beyond 10k instructions
+	// (Table III: 0.2% OS-core time at N>=10000); apache and specjbb
+	// must have a substantial >10k tail.
+	if f := Derby().OSTimeFractionAbove(10000); f > 0.02 {
+		t.Errorf("derby nominal OS time above 10k = %.3f, want ~0", f)
+	}
+	if f := Apache().OSTimeFractionAbove(10000); f < 0.15 {
+		t.Errorf("apache nominal OS time above 10k = %.3f, want >= 0.15", f)
+	}
+	if f := SPECjbb().OSTimeFractionAbove(10000); f < 0.15 {
+		t.Errorf("specjbb nominal OS time above 10k = %.3f, want >= 0.15", f)
+	}
+}
+
+func TestOSTimeFractionAboveMonotone(t *testing.T) {
+	p := Apache()
+	prev := 1.1
+	for _, n := range []int{0, 100, 1000, 10000, 100000} {
+		f := p.OSTimeFractionAbove(n)
+		if f > prev {
+			t.Fatalf("fraction above %d = %v exceeds fraction above smaller threshold %v", n, f, prev)
+		}
+		prev = f
+	}
+	if p.OSTimeFractionAbove(0) != 1.0 {
+		t.Fatal("every invocation is longer than 0")
+	}
+}
+
+func TestMeanSyscallLengthPositive(t *testing.T) {
+	for _, p := range All() {
+		if p.MeanSyscallLength() <= 0 {
+			t.Errorf("%s mean syscall length = %v", p.Name, p.MeanSyscallLength())
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	good := Apache()
+	bad := *good
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Fatal("empty name accepted")
+	}
+	bad = *good
+	bad.Mix = nil
+	if bad.Validate() == nil {
+		t.Fatal("empty mix accepted")
+	}
+	bad = *good
+	bad.Mix = []SyscallWeight{{syscalls.ID(9999), 1}}
+	if bad.Validate() == nil {
+		t.Fatal("unknown syscall accepted")
+	}
+	bad = *good
+	bad.UserMemRatio = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero mem ratio accepted")
+	}
+	bad = *good
+	bad.HotFrac = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("HotFrac > 1 accepted")
+	}
+	bad = *good
+	bad.UserBurstMin = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero burst floor accepted")
+	}
+	bad = *good
+	bad.TrapContexts = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero trap contexts accepted")
+	}
+}
+
+func TestServerProfilesUseTwoThreadsPerCore(t *testing.T) {
+	// §II: server benchmarks map two threads per core.
+	for _, p := range ServerSet() {
+		if p.ThreadsPerCore != 2 {
+			t.Errorf("%s ThreadsPerCore = %d, want 2", p.Name, p.ThreadsPerCore)
+		}
+	}
+}
+
+func TestComputeGroupSimilarity(t *testing.T) {
+	// §II: the compute group displays "extremely similar behavior" —
+	// identical syscall mixes, differing in footprint and intensity.
+	ref := Blackscholes()
+	for _, p := range ComputeSet() {
+		if len(p.Mix) != len(ref.Mix) {
+			t.Errorf("%s mix length differs from group", p.Name)
+		}
+		if p.ExpectedOSShare() > 0.08 {
+			t.Errorf("%s OS share %.3f too high for compute group", p.Name, p.ExpectedOSShare())
+		}
+	}
+}

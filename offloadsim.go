@@ -1,0 +1,186 @@
+package offloadsim
+
+import (
+	"offloadsim/internal/coherence"
+	"offloadsim/internal/core"
+	"offloadsim/internal/cpu"
+	"offloadsim/internal/energy"
+	"offloadsim/internal/experiments"
+	"offloadsim/internal/migration"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/sim"
+	"offloadsim/internal/workloads"
+)
+
+// Config describes one simulation run: workload, decision policy,
+// threshold, migration engine, core count and measurement budgets.
+type Config = sim.Config
+
+// Result is the measured outcome of a run.
+type Result = sim.Result
+
+// Simulator is a configured system ready to Run.
+type Simulator = sim.Simulator
+
+// Workload is a benchmark profile.
+type Workload = workloads.Profile
+
+// PolicyKind selects the off-loading decision mechanism.
+type PolicyKind = policy.Kind
+
+// Decision policies, in the paper's Figure 5 vocabulary.
+const (
+	// Baseline never off-loads: everything runs on the user core.
+	Baseline = policy.Baseline
+	// StaticInstrumentation (SI) off-loads a profile-selected set of
+	// long system calls (Chakraborty et al. style).
+	StaticInstrumentation = policy.StaticInstrumentation
+	// DynamicInstrumentation (DI) instruments every OS entry in
+	// software (Mogul et al. style, broadened per §V-B).
+	DynamicInstrumentation = policy.DynamicInstrumentation
+	// HardwarePredictor (HI) is the paper's hardware run-length
+	// predictor with single-cycle decisions.
+	HardwarePredictor = policy.HardwarePredictor
+	// OraclePolicy decides on the true run length with zero overhead:
+	// the upper bound for any prediction mechanism.
+	OraclePolicy = policy.Oracle
+)
+
+// MigrationEngine is an off-load transport with a one-way latency.
+type MigrationEngine = migration.Engine
+
+// Conservative returns the ~5,000-cycle unmodified-kernel migration.
+func Conservative() MigrationEngine { return migration.Conservative() }
+
+// Fast returns the ~3,000-cycle improved software switch.
+func Fast() MigrationEngine { return migration.Fast() }
+
+// Aggressive returns the ~100-cycle hardware thread transfer.
+func Aggressive() MigrationEngine { return migration.Aggressive() }
+
+// CustomMigration returns an engine with an arbitrary one-way latency.
+func CustomMigration(oneWayCycles int) MigrationEngine { return migration.Custom(oneWayCycles) }
+
+// Predictor is the run-length prediction interface (the paper's core
+// hardware structure); use it directly to embed the mechanism in other
+// systems.
+type Predictor = core.Predictor
+
+// Prediction is a predicted run length and its source (local table entry
+// or global last-3 average).
+type Prediction = core.Prediction
+
+// NewCAMPredictor builds the 200-entry fully-associative organization
+// (~2 KB).
+func NewCAMPredictor(entries int) Predictor { return core.NewCAMPredictor(entries) }
+
+// NewDirectMappedPredictor builds the 1500-entry tag-less organization
+// (~3.3 KB).
+func NewDirectMappedPredictor(entries int) Predictor { return core.NewDirectMappedPredictor(entries) }
+
+// DefaultCAMEntries and DefaultDirectMappedEntries are the paper's table
+// sizes.
+const (
+	DefaultCAMEntries          = core.DefaultCAMEntries
+	DefaultDirectMappedEntries = core.DefaultDirectMappedEntries
+)
+
+// TunerConfig parameterizes the §III-B dynamic threshold estimation.
+type TunerConfig = core.TunerConfig
+
+// DefaultTunerConfig returns the paper's epoch parameters (25 M-instruction
+// samples, 100 M runs, 1% improvement margin).
+func DefaultTunerConfig() TunerConfig { return core.DefaultTunerConfig() }
+
+// DefaultConfig returns a single-user-core Table II configuration for the
+// given workload, using the hardware policy at N=1000 over the aggressive
+// migration engine.
+func DefaultConfig(w *Workload) Config { return sim.DefaultConfig(w) }
+
+// New builds a Simulator, validating the configuration.
+func New(cfg Config) (*Simulator, error) { return sim.New(cfg) }
+
+// Run builds and runs a simulation in one step.
+func Run(cfg Config) (Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}
+
+// Workloads returns all modeled benchmark profiles: apache, specjbb and
+// derby (servers), plus the six-member compute group.
+func Workloads() []*Workload { return workloads.All() }
+
+// ServerWorkloads returns the three OS-intensive server profiles.
+func ServerWorkloads() []*Workload { return workloads.ServerSet() }
+
+// ComputeWorkloads returns the six compute-bound profiles.
+func ComputeWorkloads() []*Workload { return workloads.ComputeSet() }
+
+// WorkloadByName resolves a profile by name ("apache", "specjbb",
+// "derby", "blackscholes", "canneal", "fasta_protein", "mummer", "mcf",
+// "hmmer").
+func WorkloadByName(name string) (*Workload, bool) { return workloads.ByName(name) }
+
+// WorkloadNames lists the available profile names, sorted.
+func WorkloadNames() []string { return workloads.Names() }
+
+// ExperimentOptions scales the paper-reproduction runners.
+type ExperimentOptions = experiments.Options
+
+// DefaultExperimentOptions returns the standard experiment scale; use
+// QuickExperimentOptions for smoke runs.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// QuickExperimentOptions returns a reduced scale for fast iteration.
+func QuickExperimentOptions() ExperimentOptions { return experiments.QuickOptions() }
+
+// EnergyModel parameterizes the optional energy extension (the paper's
+// stated future work): per-core active/idle power on an asymmetric CMP
+// plus a per-migration charge.
+type EnergyModel = energy.Model
+
+// EnergyReport is the evaluated outcome: joules, seconds, average watts
+// and the energy-delay product.
+type EnergyReport = energy.Report
+
+// DefaultEnergyModel returns the reference asymmetric-CMP power model
+// (8 W user core, 2.5 W OS core, ~10% idle floors, 3.5 GHz).
+func DefaultEnergyModel() EnergyModel { return energy.Default() }
+
+// Energy evaluates a run's energy under m, using the cycle accounting the
+// simulator recorded (user-core idle during migrations, OS-core busy
+// time, migration count).
+func Energy(r Result, m EnergyModel) (EnergyReport, error) {
+	return m.Evaluate(energy.Activity{
+		ElapsedCycles:  r.Cycles,
+		UserCores:      r.UserCores,
+		UserIdleCycles: r.UserIdleCycles,
+		OSBusyCycles:   r.OSBusyCycles,
+		HasOSCore:      r.HasOSCore,
+		Migrations:     r.Offloads,
+	})
+}
+
+// CPUConfig sizes a core's front end (L1 caches, fetch width); assign one
+// to Config.OSCPU to model the asymmetric-CMP OS core of Mogul et al.
+type CPUConfig = cpu.Config
+
+// DefaultCPUConfig returns the Table II core front end (32 KB 2-way L1s).
+func DefaultCPUConfig() CPUConfig { return cpu.DefaultConfig() }
+
+// CoherenceProtocol selects MESI (the paper's baseline) or MOESI for
+// Config.Coherence.Protocol.
+type CoherenceProtocol = coherence.Protocol
+
+// Protocol constants.
+const (
+	MESI  = coherence.MESI
+	MOESI = coherence.MOESI
+)
+
+// DefaultCoherenceConfig returns the Table II memory system (private 1 MB
+// L2s, directory MESI, 350-cycle memory).
+func DefaultCoherenceConfig() coherence.Config { return coherence.DefaultConfig() }

@@ -1,0 +1,159 @@
+package offloadsim_test
+
+import (
+	"testing"
+
+	"offloadsim"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	prof, ok := offloadsim.WorkloadByName("apache")
+	if !ok {
+		t.Fatal("apache profile missing")
+	}
+	cfg := offloadsim.DefaultConfig(prof)
+	cfg.Policy = offloadsim.HardwarePredictor
+	cfg.Threshold = 100
+	cfg.Migration = offloadsim.Aggressive()
+	cfg.WarmupInstrs = 50_000
+	cfg.MeasureInstrs = 150_000
+	res, err := offloadsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput %v", res.Throughput)
+	}
+	if res.Offloads == 0 {
+		t.Fatal("no off-loads at N=100 on apache")
+	}
+}
+
+func TestFacadeRejectsBadConfig(t *testing.T) {
+	prof, _ := offloadsim.WorkloadByName("derby")
+	cfg := offloadsim.DefaultConfig(prof)
+	cfg.UserCores = 0
+	if _, err := offloadsim.Run(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := offloadsim.New(cfg); err == nil {
+		t.Fatal("New accepted invalid config")
+	}
+}
+
+func TestFacadeWorkloadSets(t *testing.T) {
+	if len(offloadsim.Workloads()) != 9 {
+		t.Fatalf("workloads = %d", len(offloadsim.Workloads()))
+	}
+	if len(offloadsim.ServerWorkloads()) != 3 || len(offloadsim.ComputeWorkloads()) != 6 {
+		t.Fatal("suite split wrong")
+	}
+	if len(offloadsim.WorkloadNames()) != 9 {
+		t.Fatal("names incomplete")
+	}
+	if _, ok := offloadsim.WorkloadByName("nosuch"); ok {
+		t.Fatal("unknown workload resolved")
+	}
+}
+
+func TestFacadeMigrationEngines(t *testing.T) {
+	if offloadsim.Conservative().OneWay != 5000 ||
+		offloadsim.Fast().OneWay != 3000 ||
+		offloadsim.Aggressive().OneWay != 100 ||
+		offloadsim.CustomMigration(42).OneWay != 42 {
+		t.Fatal("migration engine latencies wrong")
+	}
+}
+
+func TestFacadePredictorDirect(t *testing.T) {
+	p := offloadsim.NewCAMPredictor(offloadsim.DefaultCAMEntries)
+	p.Update(7, 500)
+	p.Update(7, 500)
+	if got := p.Predict(7); got.Length != 500 {
+		t.Fatalf("predictor via facade returned %+v", got)
+	}
+	dm := offloadsim.NewDirectMappedPredictor(offloadsim.DefaultDirectMappedEntries)
+	if dm.StorageBits() == 0 {
+		t.Fatal("direct-mapped storage unreported")
+	}
+}
+
+func TestFacadeTunerConfig(t *testing.T) {
+	tc := offloadsim.DefaultTunerConfig()
+	if tc.SampleEpoch != 25_000_000 {
+		t.Fatalf("sample epoch %d, want paper's 25M", tc.SampleEpoch)
+	}
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperimentOptions(t *testing.T) {
+	if offloadsim.DefaultExperimentOptions().MeasureInstrs <= offloadsim.QuickExperimentOptions().MeasureInstrs {
+		t.Fatal("default options should be larger than quick options")
+	}
+}
+
+func TestFacadeEnergy(t *testing.T) {
+	prof, _ := offloadsim.WorkloadByName("apache")
+	cfg := offloadsim.DefaultConfig(prof)
+	cfg.Policy = offloadsim.HardwarePredictor
+	cfg.Threshold = 100
+	cfg.WarmupInstrs = 100_000
+	cfg.MeasureInstrs = 200_000
+	res, err := offloadsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := offloadsim.Energy(res, offloadsim.DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Joules <= 0 || rep.Seconds <= 0 || rep.EDP <= 0 {
+		t.Fatalf("degenerate energy report: %+v", rep)
+	}
+	if rep.AvgWatts <= 0 || rep.AvgWatts > 20 {
+		t.Fatalf("implausible average power %v W", rep.AvgWatts)
+	}
+	// An invalid model must be rejected.
+	bad := offloadsim.DefaultEnergyModel()
+	bad.ClockGHz = 0
+	if _, err := offloadsim.Energy(res, bad); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	apache, _ := offloadsim.WorkloadByName("apache")
+	mcf, _ := offloadsim.WorkloadByName("mcf")
+
+	cfg := offloadsim.DefaultConfig(apache)
+	cfg.Policy = offloadsim.HardwarePredictor
+	cfg.Threshold = 100
+	cfg.UserCores = 2
+	cfg.Workloads = []*offloadsim.Workload{apache, mcf} // consolidation
+	cfg.OSCoreSlots = 2                                 // SMT OS core
+	cc := offloadsim.DefaultCoherenceConfig()
+	cc.Protocol = offloadsim.MOESI // protocol extension
+	cfg.Coherence = cc
+	osCPU := offloadsim.DefaultCPUConfig() // heterogeneous OS core
+	osCPU.L1I.SizeBytes = 16 << 10
+	osCPU.L1D.SizeBytes = 16 << 10
+	cfg.OSCPU = &osCPU
+	cfg.WarmupInstrs = 80_000
+	cfg.MeasureInstrs = 150_000
+
+	res, err := offloadsim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "mixed" {
+		t.Fatalf("consolidated run labeled %q", res.Workload)
+	}
+	if len(res.PerCoreIPC) != 2 {
+		t.Fatal("per-core results missing")
+	}
+	if res.Offloads == 0 {
+		t.Fatal("extension stack never off-loaded")
+	}
+}
