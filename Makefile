@@ -1,0 +1,34 @@
+# Development and CI entry points. `make ci` is the gate: formatting,
+# vet, and the full test suite under the race detector (the server's
+# worker pool and result cache must be race-clean).
+
+GO ?= go
+
+.PHONY: ci fmt vet test race server-race build bench
+
+ci: fmt vet race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fast loop while working on the daemon.
+server-race:
+	$(GO) test -race ./internal/server/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -41,16 +41,39 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate every flag up front so nonsense values fail immediately
+	// with a clear message instead of deep inside Config.Validate (or,
+	// worse, silently producing a meaningless run).
+	if *threshold < 0 {
+		fatalUsage("-n must be >= 0 (got %d)", *threshold)
+	}
+	if *latency < 0 {
+		fatalUsage("-latency must be >= 0 cycles (got %d)", *latency)
+	}
+	if *cores < 1 {
+		fatalUsage("-cores must be >= 1 (got %d)", *cores)
+	}
+	if *osSlots < 1 {
+		fatalUsage("-os-slots must be >= 1 (got %d)", *osSlots)
+	}
+	if *measure == 0 {
+		fatalUsage("-measure must be positive")
+	}
+	if *osL1KB < 0 {
+		fatalUsage("-os-l1 must be >= 0 KB (got %d)", *osL1KB)
+	}
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected arguments: %s", strings.Join(flag.Args(), " "))
+	}
+
 	prof, ok := offloadsim.WorkloadByName(*workload)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "offsim: unknown workload %q (have: %s)\n",
+		fatalUsage("unknown workload %q (have: %s)",
 			*workload, strings.Join(offloadsim.WorkloadNames(), ", "))
-		os.Exit(2)
 	}
-	kind, ok := parsePolicy(*policyName)
+	kind, ok := offloadsim.ParsePolicy(*policyName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "offsim: unknown policy %q (baseline, SI, DI, HI, oracle)\n", *policyName)
-		os.Exit(2)
+		fatalUsage("unknown policy %q (baseline, SI, DI, HI, oracle)", *policyName)
 	}
 
 	cfg := offloadsim.DefaultConfig(prof)
@@ -127,20 +150,9 @@ func main() {
 	}
 }
 
-func parsePolicy(s string) (offloadsim.PolicyKind, bool) {
-	switch strings.ToLower(s) {
-	case "baseline", "none":
-		return offloadsim.Baseline, true
-	case "si", "static":
-		return offloadsim.StaticInstrumentation, true
-	case "di", "dynamic":
-		return offloadsim.DynamicInstrumentation, true
-	case "hi", "hardware":
-		return offloadsim.HardwarePredictor, true
-	case "oracle":
-		return offloadsim.OraclePolicy, true
-	}
-	return 0, false
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "offsim: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 func printResult(r offloadsim.Result) {

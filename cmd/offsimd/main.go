@@ -1,0 +1,104 @@
+// Command offsimd serves offloadsim simulations over an HTTP JSON API:
+// a bounded job queue with 429 backpressure, a worker pool sized to the
+// machine, a canonical-key result cache so repeated sweep points are
+// O(1), and Prometheus-style /metrics.
+//
+//	offsimd -addr :8080 -queue 256 -workers 8 -job-timeout 2m
+//
+//	curl -s localhost:8080/v1/jobs -d '{"workload":"apache","policy":"HI","threshold":100}'
+//	curl -s localhost:8080/v1/jobs/j-00000001
+//	curl -s localhost:8080/v1/results/j-00000001
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful drain: intake stops (healthz turns
+// 503 so load balancers fail over), running and queued jobs finish, then
+// the process exits. A second signal — or -drain-timeout expiring —
+// forces exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"offloadsim/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		queueSize    = flag.Int("queue", 256, "job queue capacity (full queue returns 429)")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job wall-time limit (<0 disables)")
+		cacheSize    = flag.Int("cache", 4096, "result cache capacity in entries")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "max time to drain jobs on shutdown")
+	)
+	flag.Parse()
+	if *queueSize < 1 {
+		fatalUsage("offsimd: -queue must be >= 1 (got %d)", *queueSize)
+	}
+	if *workers < 0 {
+		fatalUsage("offsimd: -workers must be >= 0 (got %d)", *workers)
+	}
+	if *cacheSize < 1 {
+		fatalUsage("offsimd: -cache must be >= 1 (got %d)", *cacheSize)
+	}
+	if *drainTimeout <= 0 {
+		fatalUsage("offsimd: -drain-timeout must be positive (got %v)", *drainTimeout)
+	}
+	if flag.NArg() > 0 {
+		fatalUsage("offsimd: unexpected arguments: %v", flag.Args())
+	}
+
+	srv := server.New(server.Options{
+		QueueSize:    *queueSize,
+		Workers:      *workers,
+		JobTimeout:   *jobTimeout,
+		CacheEntries: *cacheSize,
+	})
+	srv.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("offsimd: listening on %s (queue=%d workers=%d cache=%d)",
+		*addr, *queueSize, *workers, *cacheSize)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("offsimd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills us
+	log.Printf("offsimd: shutting down, draining jobs (max %v)...", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("offsimd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("offsimd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("offsimd: drained cleanly")
+}
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

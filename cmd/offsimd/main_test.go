@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSIGTERMDrainsRunningJobs builds the daemon, submits a long job,
+// sends SIGTERM while it runs, and verifies the process finishes the
+// job before exiting cleanly — the acceptance contract for graceful
+// shutdown. Skipped where POSIX signals are unavailable.
+func TestSIGTERMDrainsRunningJobs(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal semantics required")
+	}
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "offsimd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building offsimd: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	var logBuf bytes.Buffer
+	cmd := exec.Command(bin, "-addr", addr, "-drain-timeout", "60s")
+	cmd.Stdout = &logBuf
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	waitUntil(t, 5*time.Second, func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// A job big enough to still be running when the signal lands.
+	spec := `{"workload":"derby","measure_instrs":3000000,"warmup_instrs":0,"seed":42}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v\n%s", err, logBuf.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM\n%s", logBuf.String())
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "drained cleanly") {
+		t.Errorf("expected clean drain, logs:\n%s", logs)
+	}
+	if !strings.Contains(logs, "draining jobs") {
+		t.Errorf("expected drain announcement, logs:\n%s", logs)
+	}
+}
+
+func waitUntil(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

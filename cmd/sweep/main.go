@@ -63,6 +63,19 @@ func main() {
 	if err != nil {
 		fail("bad -latencies: " + err.Error())
 	}
+	for _, n := range ns {
+		if n < 0 {
+			fail(fmt.Sprintf("-n values must be >= 0 (got %d)", n))
+		}
+	}
+	for _, lat := range lats {
+		if lat < 0 {
+			fail(fmt.Sprintf("-latencies values must be >= 0 (got %d)", lat))
+		}
+	}
+	if *measure == 0 {
+		fail("-measure must be positive")
+	}
 
 	model := offloadsim.DefaultEnergyModel()
 	var rows []Row
@@ -82,7 +95,7 @@ func main() {
 			fail(err.Error())
 		}
 		for _, pol := range pols {
-			kind, ok := parsePolicy(pol)
+			kind, ok := offloadsim.ParsePolicy(pol)
 			if !ok {
 				fail(fmt.Sprintf("unknown policy %q", pol))
 			}
@@ -174,22 +187,6 @@ func splitInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func parsePolicy(s string) (offloadsim.PolicyKind, bool) {
-	switch strings.ToLower(s) {
-	case "baseline", "none":
-		return offloadsim.Baseline, true
-	case "si", "static":
-		return offloadsim.StaticInstrumentation, true
-	case "di", "dynamic":
-		return offloadsim.DynamicInstrumentation, true
-	case "hi", "hardware":
-		return offloadsim.HardwarePredictor, true
-	case "oracle":
-		return offloadsim.OraclePolicy, true
-	}
-	return 0, false
 }
 
 func fail(msg string) {

@@ -1,0 +1,205 @@
+// Command loadtest fires K concurrent job submissions at a running
+// offsimd and reports latency percentiles, the cache-hit ratio and how
+// much backpressure (429) the daemon pushed back. It doubles as a smoke
+// test for the serving path:
+//
+//	go run ./cmd/offsimd -addr :8080 &
+//	go run ./examples/loadtest -addr http://localhost:8080 -k 16 -jobs 96
+//
+// Specs are drawn from a small sweep grid with deliberate repeats, so a
+// healthy run shows a rising cache-hit ratio as the grid fills in.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type jobSpec struct {
+	Workload      string `json:"workload"`
+	Policy        string `json:"policy,omitempty"`
+	Threshold     *int   `json:"threshold,omitempty"`
+	LatencyCycles *int   `json:"latency_cycles,omitempty"`
+	WarmupInstrs  uint64 `json:"warmup_instrs"`
+	MeasureInstrs uint64 `json:"measure_instrs"`
+	Seed          uint64 `json:"seed"`
+}
+
+type jobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+type sample struct {
+	latency time.Duration
+	cached  bool
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "offsimd base URL")
+		k       = flag.Int("k", 16, "concurrent submitters")
+		jobs    = flag.Int("jobs", 96, "total submissions")
+		measure = flag.Uint64("measure", 200_000, "measured instructions per job")
+		seeds   = flag.Uint64("seeds", 4, "distinct seeds per grid point (controls repeat rate)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-job completion deadline")
+	)
+	flag.Parse()
+	if *k < 1 || *jobs < 1 || *seeds < 1 || *measure == 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: -k, -jobs, -seeds must be >= 1 and -measure positive")
+		os.Exit(2)
+	}
+
+	// A small grid with repeats: workloads x thresholds x seeds.
+	workloads := []string{"apache", "specjbb", "derby"}
+	thresholds := []int{100, 1000}
+	latency := 100
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		mu       sync.Mutex
+		samples  []sample
+		rejected atomic.Int64
+		failed   atomic.Int64
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for range work {
+				spec := jobSpec{
+					Workload:      workloads[rng.Intn(len(workloads))],
+					Policy:        "HI",
+					WarmupInstrs:  0,
+					MeasureInstrs: *measure,
+					Seed:          uint64(rng.Int63n(int64(*seeds))) + 1,
+				}
+				thr := thresholds[rng.Intn(len(thresholds))]
+				spec.Threshold = &thr
+				spec.LatencyCycles = &latency
+				s, err := runOne(client, *addr, spec, *timeout, &rejected)
+				if err != nil {
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+					continue
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	for i := 0; i < *jobs; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: no job completed")
+		os.Exit(1)
+	}
+	lats := make([]time.Duration, len(samples))
+	hits := 0
+	for i, s := range samples {
+		lats[i] = s.latency
+		if s.cached {
+			hits++
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx]
+	}
+	fmt.Printf("completed           %d/%d jobs in %v (%.1f jobs/s)\n",
+		len(samples), *jobs, wall.Round(time.Millisecond),
+		float64(len(samples))/wall.Seconds())
+	fmt.Printf("latency p50         %v\n", pct(0.50).Round(time.Microsecond))
+	fmt.Printf("latency p95         %v\n", pct(0.95).Round(time.Microsecond))
+	fmt.Printf("latency p99         %v\n", pct(0.99).Round(time.Microsecond))
+	fmt.Printf("cache-hit ratio     %.1f%% (%d/%d)\n",
+		100*float64(hits)/float64(len(samples)), hits, len(samples))
+	fmt.Printf("backpressure 429s   %d (retried)\n", rejected.Load())
+	fmt.Printf("failed jobs         %d\n", failed.Load())
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runOne submits one spec (retrying on 429 backpressure) and waits for
+// the job to finish, returning its end-to-end latency.
+func runOne(client *http.Client, addr string, spec jobSpec, timeout time.Duration, rejected *atomic.Int64) (sample, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return sample{}, err
+	}
+	deadline := time.Now().Add(timeout)
+	start := time.Now()
+
+	var st jobStatus
+	for {
+		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return sample{}, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Backpressure: honor it and retry.
+			rejected.Add(1)
+			if time.Now().After(deadline) {
+				return sample{}, fmt.Errorf("still rejected at deadline")
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return sample{}, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return sample{}, fmt.Errorf("submit: bad status document: %w", err)
+		}
+		break
+	}
+
+	for st.State != "done" && st.State != "failed" {
+		if time.Now().After(deadline) {
+			return sample{}, fmt.Errorf("job %s: not finished at deadline (state %s)", st.ID, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, err := client.Get(addr + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return sample{}, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return sample{}, fmt.Errorf("status %s: HTTP %d: %s", st.ID, resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return sample{}, err
+		}
+	}
+	if st.State == "failed" {
+		return sample{}, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+	return sample{latency: time.Since(start), cached: st.Cached}, nil
+}

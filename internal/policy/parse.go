@@ -1,0 +1,29 @@
+package policy
+
+import "strings"
+
+// Parse resolves a policy name or alias (case-insensitive) to its Kind.
+// Accepted spellings follow the paper's Figure 5 vocabulary:
+//
+//	baseline, none            -> Baseline
+//	si, static                -> StaticInstrumentation
+//	di, dynamic               -> DynamicInstrumentation
+//	hi, hardware              -> HardwarePredictor
+//	oracle                    -> Oracle
+//
+// The second result is false for unknown names.
+func Parse(s string) (Kind, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "baseline", "none":
+		return Baseline, true
+	case "si", "static":
+		return StaticInstrumentation, true
+	case "di", "dynamic":
+		return DynamicInstrumentation, true
+	case "hi", "hardware":
+		return HardwarePredictor, true
+	case "oracle":
+		return Oracle, true
+	}
+	return 0, false
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("ra"))
+	c.put("b", []byte("rb"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("rc")) // evicts b (a was just touched)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || !bytes.Equal(v, []byte("ra")) {
+		t.Error("a lost or corrupted")
+	}
+	if v, ok := c.get("c"); !ok || !bytes.Equal(v, []byte("rc")) {
+		t.Error("c missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestResultCacheOverwrite(t *testing.T) {
+	c := newResultCache(4)
+	c.put("k", []byte("v1"))
+	c.put("k", []byte("v2"))
+	if v, _ := c.get("k"); !bytes.Equal(v, []byte("v2")) {
+		t.Errorf("got %q, want v2", v)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}
+
+// TestResultCacheConcurrent exercises the lock under the race detector.
+func TestResultCacheConcurrent(t *testing.T) {
+	c := newResultCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%40)
+				c.put(k, []byte(k))
+				if v, ok := c.get(k); ok && string(v) != k {
+					t.Errorf("corrupted entry %s -> %s", k, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.JobsSubmitted.Add(3)
+	m.JobsCompleted.Add(2)
+	m.JobsFailed.Add(1)
+	m.CacheHits.Add(1)
+	m.QueueDepth.Add(2)
+	m.ObserveJobLatency(0.003)
+	m.ObserveJobLatency(7)
+	m.ObserveJobLatency(1000) // lands in +Inf
+
+	var b strings.Builder
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wants := []string{
+		"# TYPE offsimd_jobs_submitted_total counter",
+		"offsimd_jobs_submitted_total 3",
+		"offsimd_jobs_completed_total 2",
+		"offsimd_jobs_failed_total 1",
+		"offsimd_cache_hits_total 1",
+		"# TYPE offsimd_queue_depth gauge",
+		"offsimd_queue_depth 2",
+		"# TYPE offsimd_job_latency_seconds histogram",
+		`offsimd_job_latency_seconds_bucket{le="0.005"} 1`,
+		`offsimd_job_latency_seconds_bucket{le="10"} 2`,
+		`offsimd_job_latency_seconds_bucket{le="+Inf"} 3`,
+		"offsimd_job_latency_seconds_count 3",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

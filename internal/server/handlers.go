@@ -1,0 +1,109 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs         submit a JobSpec; 202 queued, 200 cache hit,
+//	                      400 invalid, 429 queue full, 503 draining
+//	GET  /v1/jobs/{id}    job status
+//	GET  /v1/results/{id} result JSON of a finished job
+//	GET  /healthz         liveness (503 once draining)
+//	GET  /metrics         Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed job spec: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	code := http.StatusAccepted
+	if st.Cached {
+		code = http.StatusOK // served from cache, already done
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, st, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	switch st.State {
+	case StateDone:
+		// The stored bytes are written verbatim so identical configs get
+		// byte-identical result documents.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(res)
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: st.Error})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, apiError{Error: "job not finished: " + string(st.State)})
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.metrics.WriteTo(w)
+}

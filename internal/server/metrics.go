@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the daemon's instrumentation, hand-rolled in the Prometheus
+// text exposition format (no dependencies). Counters and gauges are
+// atomics; the latency histogram takes a mutex only on observe/scrape.
+type Metrics struct {
+	JobsSubmitted atomic.Uint64 // accepted submissions (cache hits included)
+	JobsCompleted atomic.Uint64 // jobs finished successfully (cache hits included)
+	JobsFailed    atomic.Uint64 // jobs that errored, timed out, or were aborted
+	JobsRejected  atomic.Uint64 // submissions bounced with 429 (full queue)
+	JobsCoalesced atomic.Uint64 // submissions attached to an identical in-flight job
+
+	CacheHits   atomic.Uint64 // submissions served instantly from the result cache
+	CacheMisses atomic.Uint64 // submissions that required (or joined) a simulation
+
+	QueueDepth  atomic.Int64 // jobs sitting in the bounded queue
+	JobsRunning atomic.Int64 // jobs currently being simulated
+
+	latency histogram
+}
+
+// NewMetrics builds the registry with the default latency buckets.
+func NewMetrics() *Metrics {
+	return &Metrics{latency: newHistogram(
+		// Seconds; simulations span ~ms (cache hit path excluded) to
+		// minutes for large budgets.
+		[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60},
+	)}
+}
+
+// ObserveJobLatency records one job's submit-to-finish wall time.
+func (m *Metrics) ObserveJobLatency(seconds float64) { m.latency.observe(seconds) }
+
+// WriteTo renders the registry in the Prometheus text format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("offsimd_jobs_submitted_total", "Accepted job submissions.", m.JobsSubmitted.Load())
+	counter("offsimd_jobs_completed_total", "Jobs finished successfully.", m.JobsCompleted.Load())
+	counter("offsimd_jobs_failed_total", "Jobs that errored, timed out or were aborted.", m.JobsFailed.Load())
+	counter("offsimd_jobs_rejected_total", "Submissions rejected by queue backpressure.", m.JobsRejected.Load())
+	counter("offsimd_jobs_coalesced_total", "Submissions coalesced onto identical in-flight jobs.", m.JobsCoalesced.Load())
+	counter("offsimd_cache_hits_total", "Submissions served from the result cache.", m.CacheHits.Load())
+	counter("offsimd_cache_misses_total", "Submissions not present in the result cache.", m.CacheMisses.Load())
+	gauge("offsimd_queue_depth", "Jobs waiting in the bounded queue.", m.QueueDepth.Load())
+	gauge("offsimd_jobs_running", "Jobs currently being simulated.", m.JobsRunning.Load())
+	m.latency.writeTo(cw, "offsimd_job_latency_seconds", "Submit-to-finish job latency.")
+	return cw.n, cw.err
+}
+
+// histogram is a fixed-bucket cumulative histogram.
+type histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds; +Inf implicit
+	buckets []uint64  // non-cumulative counts per bound, +Inf last
+	sum     float64
+	count   uint64
+}
+
+func newHistogram(bounds []float64) histogram {
+	return histogram{bounds: bounds, buckets: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+}
+
+func (h *histogram) writeTo(w io.Writer, name, help string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	cum += h.buckets[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count)
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

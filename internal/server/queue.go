@@ -1,0 +1,48 @@
+package server
+
+import "errors"
+
+// Errors surfaced by Submit.
+var (
+	// ErrQueueFull is returned when the bounded queue cannot accept
+	// another job; the HTTP layer maps it to 429 Too Many Requests.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining is returned once shutdown has begun; the HTTP layer
+	// maps it to 503 Service Unavailable.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// jobQueue is a bounded FIFO feeding the worker pool. Admission control
+// is non-blocking: a full queue rejects immediately so the HTTP layer
+// can push backpressure to clients instead of stalling connections.
+//
+// Synchronization contract: tryPush and close are only called with the
+// owning Server's mutex held, which makes "push after close" impossible
+// without any extra state here; workers drain ch concurrently.
+type jobQueue struct {
+	ch chan *job
+}
+
+func newJobQueue(size int) *jobQueue {
+	if size < 1 {
+		size = 1
+	}
+	return &jobQueue{ch: make(chan *job, size)}
+}
+
+// tryPush enqueues j if capacity remains, reporting success.
+func (q *jobQueue) tryPush(j *job) bool {
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops intake. Workers keep draining buffered jobs until empty —
+// that drain is what makes shutdown graceful rather than lossy.
+func (q *jobQueue) close() { close(q.ch) }
+
+// depth returns the number of queued jobs.
+func (q *jobQueue) depth() int { return len(q.ch) }

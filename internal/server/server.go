@@ -1,0 +1,338 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"offloadsim/internal/sim"
+)
+
+// Options sizes the daemon. Zero values take the documented defaults.
+type Options struct {
+	// QueueSize bounds the job queue; a full queue rejects submissions
+	// with ErrQueueFull (HTTP 429). Default 64.
+	QueueSize int
+	// Workers is the worker-pool size. Default GOMAXPROCS.
+	Workers int
+	// JobTimeout bounds one simulation's wall time; expired jobs fail.
+	// Default 2m; negative disables the timeout.
+	JobTimeout time.Duration
+	// CacheEntries bounds the result cache. Default 4096.
+	CacheEntries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueSize == 0 {
+		o.QueueSize = 64
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.JobTimeout == 0 {
+		o.JobTimeout = 2 * time.Minute
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
+	}
+	return o
+}
+
+// Server is the offsimd daemon core: submission, queueing, execution,
+// caching and instrumentation. It is independent of HTTP; Handler()
+// wraps it for the wire.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+	cache   *resultCache
+	queue   *jobQueue
+
+	// runSim is swappable for tests; defaults to sim.Run.
+	runSim func(sim.Config) (sim.Result, error)
+
+	// now is swappable for tests; defaults to time.Now.
+	now func() time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*job   // all jobs by id
+	pending  map[string][]*job // key -> jobs awaiting one in-flight simulation
+	seq      uint64
+	draining bool
+
+	wg        sync.WaitGroup
+	baseCtx   context.Context
+	abort     context.CancelFunc
+	startOnce sync.Once
+}
+
+// New builds a Server; call Start before submitting.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:    opts,
+		metrics: NewMetrics(),
+		cache:   newResultCache(opts.CacheEntries),
+		queue:   newJobQueue(opts.QueueSize),
+		runSim: func(c sim.Config) (sim.Result, error) {
+			s, err := sim.New(c)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return s.Run(), nil
+		},
+		now:     time.Now,
+		jobs:    make(map[string]*job),
+		pending: make(map[string][]*job),
+		baseCtx: ctx,
+		abort:   cancel,
+	}
+}
+
+// Metrics exposes the instrumentation registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Start launches the worker pool. Idempotent.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		for i := 0; i < s.opts.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	})
+}
+
+// Submit validates spec, consults the result cache and either completes
+// the job instantly (cache hit), attaches it to an identical in-flight
+// job (coalescing), or enqueues it. ErrQueueFull and ErrDraining report
+// backpressure and shutdown; other errors are invalid specs.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("invalid job spec: %w", err)
+	}
+	key, err := sim.CanonicalKey(cfg)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("invalid job spec: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	s.seq++
+	j := &job{
+		id:          fmt.Sprintf("j-%08d", s.seq),
+		key:         key,
+		spec:        spec,
+		cfg:         cfg,
+		state:       StateQueued,
+		submittedAt: s.now(),
+		done:        make(chan struct{}),
+	}
+
+	if res, ok := s.cache.get(key); ok {
+		s.jobs[j.id] = j
+		j.cached = true
+		s.completeLocked(j, res, "")
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.CacheHits.Add(1)
+		return j.status(), nil
+	}
+
+	if waiters, ok := s.pending[key]; ok {
+		// An identical config is already queued or running: share its
+		// outcome instead of simulating twice.
+		s.jobs[j.id] = j
+		j.coalesced = true
+		s.pending[key] = append(waiters, j)
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.CacheMisses.Add(1)
+		s.metrics.JobsCoalesced.Add(1)
+		return j.status(), nil
+	}
+
+	if !s.queue.tryPush(j) {
+		s.metrics.JobsRejected.Add(1)
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.pending[key] = []*job{j}
+	s.metrics.JobsSubmitted.Add(1)
+	s.metrics.CacheMisses.Add(1)
+	s.metrics.QueueDepth.Add(1)
+	return j.status(), nil
+}
+
+// Status returns the current status of job id.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Result returns the stored result JSON for a finished job. The boolean
+// reports whether the job exists; a nil slice with a true boolean means
+// the job has not produced a result (still in flight, or failed).
+func (s *Server) Result(id string) ([]byte, JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, false
+	}
+	return j.result, j.status(), true
+}
+
+// Wait blocks until job id finishes or ctx expires.
+func (s *Server) Wait(ctx context.Context, id string) (JobStatus, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, fmt.Errorf("unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+		st, _ := s.Status(id)
+		return st, nil
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown stops intake and drains: workers finish the running jobs and
+// everything already queued, then exit. It returns nil once the pool is
+// idle, or ctx's error if the deadline expires first (in-flight
+// simulations are then abandoned via the base context).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.queue.close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abort() // cancel in-flight job contexts
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker consumes the queue until it is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue.ch {
+		s.metrics.QueueDepth.Add(-1)
+		s.execute(j)
+	}
+}
+
+// execute runs one job and completes every waiter coalesced behind it.
+func (s *Server) execute(j *job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	j.startedAt = s.now()
+	s.mu.Unlock()
+	s.metrics.JobsRunning.Add(1)
+	defer s.metrics.JobsRunning.Add(-1)
+
+	ctx := s.baseCtx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
+
+	type outcome struct {
+		res sim.Result
+		err error
+	}
+	if ctx.Err() != nil {
+		// Forced shutdown already fired: fail without spawning work.
+		s.finishJob(j, nil, fmt.Sprintf("job aborted: %v", ctx.Err()))
+		return
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := s.runSim(j.cfg)
+		ch <- outcome{res, err}
+	}()
+
+	var resBytes []byte
+	var errMsg string
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			errMsg = out.err.Error()
+		} else if b, err := json.Marshal(out.res); err != nil {
+			errMsg = fmt.Sprintf("encoding result: %v", err)
+		} else {
+			resBytes = b
+		}
+	case <-ctx.Done():
+		// The simulation goroutine cannot be interrupted mid-run; it is
+		// abandoned and its eventual result discarded.
+		errMsg = fmt.Sprintf("job aborted: %v", ctx.Err())
+	}
+
+	s.finishJob(j, resBytes, errMsg)
+}
+
+// finishJob caches a successful result and completes the job plus every
+// waiter coalesced behind its key.
+func (s *Server) finishJob(j *job, resBytes []byte, errMsg string) {
+	if errMsg == "" {
+		s.cache.put(j.key, resBytes)
+	}
+	s.mu.Lock()
+	waiters := s.pending[j.key]
+	delete(s.pending, j.key)
+	for _, w := range waiters {
+		s.completeLocked(w, resBytes, errMsg)
+	}
+	s.mu.Unlock()
+}
+
+// completeLocked finishes one job. Caller holds s.mu.
+func (s *Server) completeLocked(j *job, res []byte, errMsg string) {
+	if j.state == StateDone || j.state == StateFailed {
+		return
+	}
+	j.finishedAt = s.now()
+	if errMsg != "" {
+		j.state = StateFailed
+		j.err = errMsg
+		s.metrics.JobsFailed.Add(1)
+	} else {
+		j.state = StateDone
+		j.result = res
+		s.metrics.JobsCompleted.Add(1)
+	}
+	s.metrics.ObserveJobLatency(j.finishedAt.Sub(j.submittedAt).Seconds())
+	close(j.done)
+}

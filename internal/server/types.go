@@ -1,0 +1,229 @@
+// Package server implements offsimd: a concurrent simulation-as-a-service
+// daemon over the offloadsim library. It exposes an HTTP JSON API
+// (POST /v1/jobs, GET /v1/jobs/{id}, GET /v1/results/{id}, /healthz,
+// /metrics) backed by a bounded job queue with backpressure, a worker
+// pool that runs simulations concurrently, and a deterministic result
+// cache keyed by the canonical hash of the normalized config+seed, so
+// repeated sweep points — the common case when exploring the paper's
+// policy × threshold × latency design space — are served in O(1).
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"offloadsim/internal/coherence"
+	"offloadsim/internal/core"
+	"offloadsim/internal/cpu"
+	"offloadsim/internal/migration"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/sim"
+	"offloadsim/internal/workloads"
+)
+
+// JobSpec is the wire form of one simulation request. Zero/omitted
+// fields take the documented defaults; pointer fields distinguish
+// "absent" from an explicit zero. The spec deliberately mirrors the
+// cmd/offsim flag surface.
+type JobSpec struct {
+	// Workload is a profile name (required): apache, specjbb, derby, ...
+	Workload string `json:"workload"`
+	// Policy is a decision-policy name or alias (default "HI").
+	Policy string `json:"policy,omitempty"`
+	// Threshold is the off-load threshold N in instructions (default
+	// 1000; pointer so an explicit 0 survives).
+	Threshold *int `json:"threshold,omitempty"`
+	// LatencyCycles is the one-way migration latency (default 100).
+	LatencyCycles *int `json:"latency_cycles,omitempty"`
+	// Cores is the number of user cores (default 1).
+	Cores int `json:"cores,omitempty"`
+	// OSSlots is the OS core's hardware context count (default 1).
+	OSSlots int `json:"os_slots,omitempty"`
+	// DynamicN enables the epoch threshold tuner.
+	DynamicN bool `json:"dynamic_n,omitempty"`
+	// DMPredictor selects the 1500-entry direct-mapped predictor.
+	DMPredictor bool `json:"dm_predictor,omitempty"`
+	// InstrumentOnly charges decision overhead but never migrates.
+	InstrumentOnly bool `json:"instrument_only,omitempty"`
+	// MOESI switches the coherence protocol from MESI.
+	MOESI bool `json:"moesi,omitempty"`
+	// OSL1KB shrinks the OS core's L1s (0 = same as user cores).
+	OSL1KB int `json:"os_l1_kb,omitempty"`
+	// WarmupInstrs / MeasureInstrs are per-core instruction budgets
+	// (defaults 300k / 1M).
+	WarmupInstrs  *uint64 `json:"warmup_instrs,omitempty"`
+	MeasureInstrs *uint64 `json:"measure_instrs,omitempty"`
+	// Seed drives all stochastic behaviour (default 1).
+	Seed *uint64 `json:"seed,omitempty"`
+}
+
+// Config translates the spec into a validated simulation config. All
+// defaulting happens here, so two specs that differ only in spelled-out
+// defaults translate to identical configs (and thus one cache key).
+func (j JobSpec) Config() (sim.Config, error) {
+	prof, ok := workloads.ByName(j.Workload)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("unknown workload %q (have: %v)", j.Workload, workloads.Names())
+	}
+	polName := j.Policy
+	if polName == "" {
+		polName = "HI"
+	}
+	kind, ok := policy.Parse(polName)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("unknown policy %q (baseline, SI, DI, HI, oracle)", j.Policy)
+	}
+
+	cfg := sim.DefaultConfig(prof)
+	cfg.Policy = kind
+	if j.Threshold != nil {
+		if *j.Threshold < 0 {
+			return sim.Config{}, fmt.Errorf("negative threshold %d", *j.Threshold)
+		}
+		cfg.Threshold = *j.Threshold
+	}
+	lat := 100
+	if j.LatencyCycles != nil {
+		lat = *j.LatencyCycles
+	}
+	if lat < 0 {
+		return sim.Config{}, fmt.Errorf("negative latency_cycles %d", lat)
+	}
+	cfg.Migration = migration.Custom(lat)
+	if j.Cores < 0 {
+		return sim.Config{}, fmt.Errorf("negative cores %d", j.Cores)
+	}
+	if j.Cores > 0 {
+		cfg.UserCores = j.Cores
+	}
+	if j.OSSlots < 0 {
+		return sim.Config{}, fmt.Errorf("negative os_slots %d", j.OSSlots)
+	}
+	if j.OSSlots > 0 {
+		cfg.OSCoreSlots = j.OSSlots
+	}
+	cfg.InstrumentOnly = j.InstrumentOnly
+	cfg.DirectMappedPredictor = j.DMPredictor
+	if j.MOESI {
+		cc := coherence.DefaultConfig()
+		cc.Protocol = coherence.MOESI
+		cfg.Coherence = cc
+	}
+	if j.OSL1KB < 0 {
+		return sim.Config{}, fmt.Errorf("negative os_l1_kb %d", j.OSL1KB)
+	}
+	if j.OSL1KB > 0 {
+		osCPU := cpu.DefaultConfig()
+		osCPU.L1I.SizeBytes = j.OSL1KB << 10
+		osCPU.L1D.SizeBytes = j.OSL1KB << 10
+		cfg.OSCPU = &osCPU
+	}
+	if j.WarmupInstrs != nil {
+		cfg.WarmupInstrs = *j.WarmupInstrs
+	}
+	if j.MeasureInstrs != nil {
+		if *j.MeasureInstrs == 0 {
+			return sim.Config{}, fmt.Errorf("measure_instrs must be positive")
+		}
+		cfg.MeasureInstrs = *j.MeasureInstrs
+	}
+	if j.Seed != nil {
+		cfg.Seed = *j.Seed
+	}
+	if j.DynamicN {
+		cfg.DynamicN = true
+		tc := core.DefaultTunerConfig()
+		// Scale the paper's 25M/100M epochs down to the request's
+		// measurement budget, as cmd/offsim does.
+		tc.SampleEpoch = cfg.MeasureInstrs / 40
+		if tc.SampleEpoch < 1000 {
+			tc.SampleEpoch = 1000
+		}
+		tc.BaseRun = tc.SampleEpoch * 4
+		tc.MaxRun = tc.BaseRun * 4
+		cfg.Tuner = tc
+	}
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a worker (or coalesced behind
+	// an identical in-flight job).
+	StateQueued State = "queued"
+	// StateRunning: a worker is simulating it.
+	StateRunning State = "running"
+	// StateDone: finished; the result is available.
+	StateDone State = "done"
+	// StateFailed: simulation error, timeout, or shutdown before run.
+	StateFailed State = "failed"
+)
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// Cached is true when the job was served from the result cache
+	// without running a simulation.
+	Cached bool `json:"cached"`
+	// Coalesced is true when the job attached to an identical in-flight
+	// job instead of enqueueing its own simulation.
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// LatencySeconds is submit-to-finish wall time, set once finished.
+	LatencySeconds float64 `json:"latency_seconds,omitempty"`
+}
+
+// job is the server-side record. All mutable fields are guarded by the
+// owning Server's mutex; done is closed exactly once at completion.
+type job struct {
+	id   string
+	key  string
+	spec JobSpec
+	cfg  sim.Config
+
+	state     State
+	cached    bool
+	coalesced bool
+	err       string
+	result    []byte // marshaled Result JSON, byte-identical across cache hits
+
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+
+	done chan struct{}
+}
+
+// status snapshots the job. Caller must hold the server mutex.
+func (j *job) status() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Key:         j.key,
+		State:       j.state,
+		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		Error:       j.err,
+		SubmittedAt: j.submittedAt,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		st.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		st.FinishedAt = &t
+		st.LatencySeconds = j.finishedAt.Sub(j.submittedAt).Seconds()
+	}
+	return st
+}

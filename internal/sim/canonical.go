@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"reflect"
+
+	"offloadsim/internal/coherence"
+	"offloadsim/internal/core"
+	"offloadsim/internal/cpu"
+	"offloadsim/internal/migration"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/workloads"
+)
+
+// Canonicalize returns a normalized copy of c such that any two
+// configurations that would produce identical simulations normalize to
+// the same value. It applies exactly the defaulting New performs (zero
+// Coherence takes Table II values, NumNodes is derived from the core
+// count) and erases degrees of freedom that cannot influence a run:
+//
+//   - a uniform Workloads slice collapses into the single Workload field,
+//     so "apache on 2 cores" and "[apache, apache]" are one config;
+//   - the migration engine is reduced to its one-way latency (Name and
+//     Description are documentation);
+//   - the Tuner is zeroed when DynamicN is off, OSCoreSlots is clamped to
+//     the single-context core New builds for 0;
+//   - for Baseline runs — which build no OS core — the migration engine,
+//     OS-core slot count and OS-core CPU are reset, since no off-load
+//     path ever consults them.
+//
+// The returned Config is valid for New; invalid input is rejected.
+func Canonicalize(c Config) (Config, error) {
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	// Mirror New's defaulting.
+	if c.CPU.IFetchInterval == 0 {
+		c.CPU = cpu.DefaultConfig()
+	}
+	if c.Coherence.NumNodes == 0 {
+		c.Coherence = coherence.DefaultConfig()
+	}
+	nodes := c.UserCores
+	if c.offloadCapable() {
+		nodes++
+	}
+	c.Coherence.NumNodes = nodes
+
+	// Collapse a uniform per-core workload list; expand nothing. After
+	// this, Workloads is non-nil only for genuinely mixed configs.
+	if len(c.Workloads) > 0 {
+		uniform := true
+		for _, p := range c.Workloads[1:] {
+			if !sameProfile(p, c.Workloads[0]) {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			c.Workload = c.Workloads[0]
+			c.Workloads = nil
+		} else {
+			c.Workload = nil
+		}
+	}
+	if len(c.PhaseProfiles) == 0 {
+		c.PhaseProfiles = nil
+		c.PhaseInstrs = 0
+	}
+
+	if !c.DynamicN || !supportsThreshold(c.Policy) {
+		c.DynamicN = false
+		c.Tuner = core.TunerConfig{}
+	}
+	if c.OSCoreSlots < 1 {
+		c.OSCoreSlots = 1
+	}
+	c.Migration = migration.Custom(c.Migration.OneWay)
+	if !c.offloadCapable() {
+		// Baseline builds no OS core: the off-load transport and OS-core
+		// shape cannot matter.
+		c.Migration = migration.Custom(0)
+		c.OSCoreSlots = 1
+		c.OSCPU = nil
+	}
+	return c, nil
+}
+
+// sameProfile reports whether two profiles describe the same workload,
+// by pointer or by value.
+func sameProfile(a, b *workloads.Profile) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return reflect.DeepEqual(*a, *b)
+}
+
+// canonicalForm is the hashed shape of a canonicalized Config. Field
+// order is fixed, every field is JSON-marshalable and map-free, so the
+// encoding — and therefore the key — is deterministic.
+type canonicalForm struct {
+	Workload       *workloads.Profile
+	Workloads      []*workloads.Profile
+	PhaseProfiles  []*workloads.Profile
+	PhaseInstrs    uint64
+	Policy         int
+	Overheads      policy.Overheads
+	Threshold      int
+	DynamicN       bool
+	Tuner          core.TunerConfig
+	OneWay         int
+	UserCores      int
+	OSCoreSlots    int
+	InstrumentOnly bool
+	DirectMapped   bool
+	ColdPredictor  bool
+	WarmupInstrs   uint64
+	MeasureInstrs  uint64
+	Seed           uint64
+	CPU            cpu.Config
+	Coherence      coherence.Config
+	OSCPU          *cpu.Config
+}
+
+// CanonicalKey returns a stable hex digest identifying the simulation c
+// describes: two configs share a key iff they canonicalize to the same
+// run (workload content, policy, threshold, latency, hardware shape and
+// seed all included). It is the cache key of the offsimd result cache.
+func CanonicalKey(c Config) (string, error) {
+	cc, err := Canonicalize(c)
+	if err != nil {
+		return "", err
+	}
+	form := canonicalForm{
+		Workload:       cc.Workload,
+		Workloads:      cc.Workloads,
+		PhaseProfiles:  cc.PhaseProfiles,
+		PhaseInstrs:    cc.PhaseInstrs,
+		Policy:         int(cc.Policy),
+		Overheads:      cc.Overheads,
+		Threshold:      cc.Threshold,
+		DynamicN:       cc.DynamicN,
+		Tuner:          cc.Tuner,
+		OneWay:         cc.Migration.OneWay,
+		UserCores:      cc.UserCores,
+		OSCoreSlots:    cc.OSCoreSlots,
+		InstrumentOnly: cc.InstrumentOnly,
+		DirectMapped:   cc.DirectMappedPredictor,
+		ColdPredictor:  cc.ColdPredictor,
+		WarmupInstrs:   cc.WarmupInstrs,
+		MeasureInstrs:  cc.MeasureInstrs,
+		Seed:           cc.Seed,
+		CPU:            cc.CPU,
+		Coherence:      cc.Coherence,
+		OSCPU:          cc.OSCPU,
+	}
+	raw, err := json.Marshal(form)
+	if err != nil {
+		return "", fmt.Errorf("sim: encoding canonical form: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}

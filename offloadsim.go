@@ -97,6 +97,22 @@ func DefaultTunerConfig() TunerConfig { return core.DefaultTunerConfig() }
 // migration engine.
 func DefaultConfig(w *Workload) Config { return sim.DefaultConfig(w) }
 
+// ParsePolicy resolves a policy name or alias (case-insensitive):
+// "baseline"/"none", "SI"/"static", "DI"/"dynamic", "HI"/"hardware",
+// "oracle". The second result is false for unknown names.
+func ParsePolicy(s string) (PolicyKind, bool) { return policy.Parse(s) }
+
+// Canonicalize returns the normalized form of cfg: defaults filled the
+// way New fills them, and presentation-only degrees of freedom (engine
+// names, uniform per-core workload lists, stale tuner state) erased, so
+// equivalent configurations compare equal. Invalid configs are rejected.
+func Canonicalize(cfg Config) (Config, error) { return sim.Canonicalize(cfg) }
+
+// ConfigKey returns a stable hex digest identifying the simulation cfg
+// describes: two configs share a key iff they canonicalize identically
+// (seed included). It is the cache key of the offsimd result cache.
+func ConfigKey(cfg Config) (string, error) { return sim.CanonicalKey(cfg) }
+
 // New builds a Simulator, validating the configuration.
 func New(cfg Config) (*Simulator, error) { return sim.New(cfg) }
 

@@ -1,0 +1,97 @@
+package offloadsim_test
+
+import (
+	"testing"
+
+	"offloadsim"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want offloadsim.PolicyKind
+		ok   bool
+	}{
+		{"baseline", offloadsim.Baseline, true},
+		{"none", offloadsim.Baseline, true},
+		{"si", offloadsim.StaticInstrumentation, true},
+		{"SI", offloadsim.StaticInstrumentation, true},
+		{"static", offloadsim.StaticInstrumentation, true},
+		{"di", offloadsim.DynamicInstrumentation, true},
+		{"DI", offloadsim.DynamicInstrumentation, true},
+		{"dynamic", offloadsim.DynamicInstrumentation, true},
+		{"hi", offloadsim.HardwarePredictor, true},
+		{"HI", offloadsim.HardwarePredictor, true},
+		{"hardware", offloadsim.HardwarePredictor, true},
+		{"oracle", offloadsim.OraclePolicy, true},
+		{"Oracle", offloadsim.OraclePolicy, true},
+		{"BASELINE", offloadsim.Baseline, true},
+		{"  hi  ", offloadsim.HardwarePredictor, true}, // surrounding space tolerated
+		{"", 0, false},
+		{"h1", 0, false},
+		{"hardwired", 0, false},
+		{"sii", 0, false},
+		{"base line", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := offloadsim.ParsePolicy(c.in)
+		if ok != c.ok {
+			t.Errorf("ParsePolicy(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestParsePolicyRoundTrip: every Kind's String() form parses back to
+// itself, so CLI output can be fed back in as input.
+func TestParsePolicyRoundTrip(t *testing.T) {
+	kinds := []offloadsim.PolicyKind{
+		offloadsim.Baseline,
+		offloadsim.StaticInstrumentation,
+		offloadsim.DynamicInstrumentation,
+		offloadsim.HardwarePredictor,
+		offloadsim.OraclePolicy,
+	}
+	for _, k := range kinds {
+		got, ok := offloadsim.ParsePolicy(k.String())
+		if !ok || got != k {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", k.String(), got, ok, k)
+		}
+	}
+}
+
+// TestConfigKeyFacade spot-checks the facade-level canonical hash: the
+// thorough equivalence-class coverage lives in internal/sim.
+func TestConfigKeyFacade(t *testing.T) {
+	prof, ok := offloadsim.WorkloadByName("apache")
+	if !ok {
+		t.Fatal("apache profile missing")
+	}
+	a := offloadsim.DefaultConfig(prof)
+	b := offloadsim.DefaultConfig(prof)
+	ka, err := offloadsim.ConfigKey(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := offloadsim.ConfigKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Errorf("identical configs produced different keys: %s vs %s", ka, kb)
+	}
+	b.Seed = 99
+	kb, err = offloadsim.ConfigKey(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka == kb {
+		t.Error("different seeds produced the same key")
+	}
+	if _, err := offloadsim.Canonicalize(a); err != nil {
+		t.Errorf("Canonicalize(default config): %v", err)
+	}
+}
