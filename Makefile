@@ -1,12 +1,14 @@
 # Development and CI entry points. `make ci` is the gate: formatting,
-# vet, and the full test suite under the race detector (the server's
-# worker pool and result cache must be race-clean).
+# vet, the full test suite under the race detector (the server's worker
+# pool, and internal/sample's parallel replica replay, must be
+# race-clean), and the sampling accuracy sweep in a plain build (it
+# asserts wall-clock speedup, so it skips itself under -race).
 
 GO ?= go
 
-.PHONY: ci fmt vet test race server-race build bench
+.PHONY: ci fmt vet test race server-race build bench bench-json accuracy
 
-ci: fmt vet race
+ci: fmt vet race accuracy
 
 build:
 	$(GO) build ./...
@@ -30,5 +32,15 @@ race:
 server-race:
 	$(GO) test -race ./internal/server/...
 
+# Sampling accuracy gate: the Figure-4 sweep at the validation scale
+# must keep normalized-IPC error within 2% at >=5x speedup.
+accuracy:
+	$(GO) test -run '^TestSamplingAccuracy$$' -count=1 -v ./internal/experiments/
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Runs the Figure-4 threshold sweep in detailed and sampled mode and
+# writes BENCH_sweep.json (ns/op, simulated instrs/sec, speedup).
+bench-json:
+	OFFLOADSIM_BENCH_JSON=BENCH_sweep.json $(GO) test -run '^TestWriteBenchSweepJSON$$' -count=1 -v .

@@ -17,12 +17,13 @@ import (
 	"time"
 
 	"offloadsim/internal/experiments"
+	"offloadsim/internal/sim"
 )
 
 func main() {
 	var (
 		quick = flag.Bool("quick", false, "reduced-scale smoke run")
-		only  = flag.String("only", "", "comma-separated subset: table1,table2,table3,figure1,figure2,figure3,figure4,figure5,scaling,ablation")
+		only  = flag.String("only", "", "comma-separated subset: table1,table2,table3,figure1,figure2,figure3,figure4,figure5,scaling,ablation,sampling")
 		seed  = flag.Uint64("seed", 1, "random seed")
 		plots = flag.Bool("plot", false, "also render Figure 4 as ASCII charts")
 	)
@@ -83,6 +84,24 @@ func main() {
 		experiments.ProtocolAblation(opt).Render(out)
 		experiments.AsymmetricOSCore(opt).Render(out)
 		experiments.Confidence(opt, 5).Render(out)
+	}
+	if selected("sampling") {
+		acc := experiments.SamplingAccuracyOptions{}
+		if *quick {
+			// Small enough to stay a smoke run, large enough that the
+			// regression estimator has windows to work with (the noise
+			// scales as sqrt(Ratio/Measure); below ~10M the ratio-of-sums
+			// fallback makes the table look worse than the sampler is).
+			acc.Thresholds = []int{100}
+			acc.Seeds = []uint64{1}
+			acc.MeasureInstrs = 16_000_000
+			// Twice the default sampling density: at 16M the default
+			// one-in-50 schedule leaves the regression estimator only ~16
+			// windows and its variance dominates the table.
+			acc.Sampling = sim.DefaultSampling()
+			acc.Sampling.Ratio = 25
+		}
+		experiments.SamplingAccuracy(acc).Render(out)
 	}
 
 	fmt.Fprintf(out, "completed in %s\n", time.Since(start).Round(time.Millisecond))

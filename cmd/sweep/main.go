@@ -50,6 +50,8 @@ func main() {
 		measure       = flag.Uint64("measure", 1_000_000, "measured instructions")
 		seed          = flag.Uint64("seed", 1, "random seed")
 		energy        = flag.Bool("energy", false, "include energy/EDP columns (default power model)")
+		sampled       = flag.Bool("sampled", false, "run every point in interval-sampling mode (default schedule; see docs/SAMPLING.md)")
+		replicas      = flag.Int("replicas", 1, "independent sampled replicas merged per point (requires -sampled)")
 	)
 	flag.Parse()
 
@@ -76,6 +78,21 @@ func main() {
 	if *measure == 0 {
 		fail("-measure must be positive")
 	}
+	if *replicas < 1 {
+		fail("-replicas must be >= 1")
+	}
+	if *replicas > 1 && !*sampled {
+		fail("-replicas requires -sampled")
+	}
+	runOne := func(cfg offloadsim.Config) (offloadsim.Result, error) {
+		if !*sampled {
+			return offloadsim.Run(cfg)
+		}
+		cfg.Sampling = offloadsim.DefaultSampling()
+		cfg.Sampling.Replicas = *replicas
+		res, _, err := offloadsim.RunSampled(cfg)
+		return res, err
+	}
 
 	model := offloadsim.DefaultEnergyModel()
 	var rows []Row
@@ -90,7 +107,7 @@ func main() {
 		baseCfg.WarmupInstrs = *warmup
 		baseCfg.MeasureInstrs = *measure
 		baseCfg.Seed = *seed
-		baseRes, err := offloadsim.Run(baseCfg)
+		baseRes, err := runOne(baseCfg)
 		if err != nil {
 			fail(err.Error())
 		}
@@ -105,7 +122,7 @@ func main() {
 					cfg.Policy = kind
 					cfg.Threshold = n
 					cfg.Migration = offloadsim.CustomMigration(lat)
-					res, err := offloadsim.Run(cfg)
+					res, err := runOne(cfg)
 					if err != nil {
 						fail(err.Error())
 					}

@@ -41,9 +41,12 @@ func main() {
 	)
 	flag.Parse()
 
-	if *file == "" {
-		fail("a -file is required")
+	// Validate the whole invocation up front: a bad flag combination
+	// should fail fast with usage, never after minutes of capture work.
+	if err := validateFlags(*capture, *summary, *replay, *file, *n, *entries, *instrs); err != nil {
+		fail(err.Error())
 	}
+
 	switch {
 	case *capture:
 		doCapture(*workload, *instrs, *seed, *file)
@@ -51,9 +54,37 @@ func main() {
 		doSummary(*file)
 	case *replay:
 		doReplay(*file, *n, *dm, *entries)
-	default:
-		fail("one of -capture, -summary, -replay is required")
 	}
+}
+
+// validateFlags checks the mode selection and every numeric flag before
+// any work starts. Exactly one mode flag must be set.
+func validateFlags(capture, summary, replay bool, file string, n, entries int, instrs uint64) error {
+	modes := 0
+	for _, on := range []bool{capture, summary, replay} {
+		if on {
+			modes++
+		}
+	}
+	if modes == 0 {
+		return fmt.Errorf("one of -capture, -summary, -replay is required")
+	}
+	if modes > 1 {
+		return fmt.Errorf("-capture, -summary and -replay are mutually exclusive")
+	}
+	if file == "" {
+		return fmt.Errorf("a -file is required")
+	}
+	if n < 0 {
+		return fmt.Errorf("-n must be >= 0 (got %d)", n)
+	}
+	if entries < 0 {
+		return fmt.Errorf("-entries must be >= 0 (got %d)", entries)
+	}
+	if instrs == 0 {
+		return fmt.Errorf("-instrs must be positive")
+	}
+	return nil
 }
 
 func fail(msg string) {

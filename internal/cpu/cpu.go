@@ -13,6 +13,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"offloadsim/internal/cache"
 	"offloadsim/internal/coherence"
@@ -93,7 +94,53 @@ type Core struct {
 	memAcc float64 // fractional data-reference accumulator
 	ifCnt  int     // instructions since last I-line fetch
 
+	// Functional-warming state (interval sampling): while warming, the
+	// core issues 1 of every warmStride references in bulk — enough to
+	// keep cache and directory state alive — and estimates cycles
+	// instead of accounting them per instruction.
+	warming     bool
+	warmStride  int
+	warmIFCnt   int // I-fetches owed since the last warming fetch
+	warmDataCnt int // data references owed since the last warming access
+
+	// Calibrated CPI, tracked separately for user and OS segments while
+	// the core executes in detail. Warming charges instrs×CPI instead of
+	// scaling its strided stall sample: the strided references see a
+	// warmer-than-steady cache (skipping references slows churn), so a
+	// stall-derived clock runs systematically fast — and downstream the
+	// OS-core queue model turns that clock bias into congestion error.
+	cpiUser cpiEWMA
+	cpiOS   cpiEWMA
+
 	Counters Counters
+}
+
+// cpiTau is the instruction horizon of the CPI calibration: each update
+// decays history by exp(-instrs/cpiTau), so the estimate tracks roughly
+// the last ~50k detailed instructions.
+const cpiTau = 50_000
+
+// cpiMinInstrs is the minimum (decayed) instruction mass before a CPI
+// estimate is trusted; below it warming falls back to stall scaling.
+const cpiMinInstrs = 2_000
+
+// cpiEWMA is an instruction-weighted exponential average of cycles per
+// instruction.
+type cpiEWMA struct {
+	cyc, ins float64
+}
+
+func (e *cpiEWMA) update(cycles, instrs uint64) {
+	f := math.Exp(-float64(instrs) / cpiTau)
+	e.cyc = e.cyc*f + float64(cycles)
+	e.ins = e.ins*f + float64(instrs)
+}
+
+func (e *cpiEWMA) cpi() (float64, bool) {
+	if e.ins < cpiMinInstrs {
+		return 0, false
+	}
+	return e.cyc / e.ins, true
 }
 
 // New builds a core attached to coherence node `node` of sys and wires
@@ -172,11 +219,88 @@ func (c *Core) access(l1 *cache.Cache, lineAddr uint64, write bool) int {
 	return lat
 }
 
+// SetWarming switches the core between detailed execution and
+// functional warming. stride must be >= 1: while warming, 1 of every
+// stride cache references is performed (skipped references draw no
+// randomness, which is where the speedup comes from) and the observed
+// stall is scaled back up by stride to keep the core's clock estimate
+// honest for scheduling and OS-core queuing.
+func (c *Core) SetWarming(on bool, stride int) {
+	if stride < 1 {
+		stride = 1
+	}
+	c.warming = on
+	c.warmStride = stride
+}
+
+// Warming reports whether the core is in functional-warming mode.
+func (c *Core) Warming() bool { return c.warming }
+
+// warmSegment is the functional-warming counterpart of RunSegment:
+// references are issued in bulk with a stride to keep cache, directory
+// and recency state alive, and no per-instruction work happens. Cycle
+// cost is charged from the calibrated CPI of recent detailed execution
+// (falling back to the scaled-up observed stall until calibration has
+// seen enough instructions); a full-density warming segment (stride 1)
+// performs exactly the references a detailed one would, so its observed
+// stall is exact and feeds the calibration. The fractional fetch/data
+// accumulators are shared with the detailed path so mode switches stay
+// seamless.
+func (c *Core) warmSegment(seg *trace.Segment) uint64 {
+	nIF, ifCnt, nData, memAcc := seg.BatchRefs(c.cfg.IFetchInterval, c.ifCnt, c.memAcc)
+	c.ifCnt, c.memAcc = ifCnt, memAcc
+
+	stall := uint64(0)
+	c.warmIFCnt += nIF
+	for ; c.warmIFCnt >= c.warmStride; c.warmIFCnt -= c.warmStride {
+		stall += uint64(c.access(c.l1i, seg.NextIFetch(), false))
+	}
+	c.warmDataCnt += nData
+	for ; c.warmDataCnt >= c.warmStride; c.warmDataCnt -= c.warmStride {
+		la, wr := seg.NextData()
+		stall += uint64(c.access(c.l1d, la, wr))
+	}
+
+	e := &c.cpiUser
+	if seg.IsOS() {
+		e = &c.cpiOS
+	}
+	var cycles uint64
+	if c.warmStride == 1 {
+		cycles = uint64(seg.Instrs) + stall
+		e.update(cycles, uint64(seg.Instrs))
+	} else if cpi, ok := e.cpi(); ok {
+		cycles = uint64(float64(seg.Instrs)*cpi + 0.5)
+		if cycles < uint64(seg.Instrs) {
+			cycles = uint64(seg.Instrs)
+		}
+	} else {
+		cycles = uint64(seg.Instrs) + stall*uint64(c.warmStride)
+	}
+	stallOut := cycles - uint64(seg.Instrs)
+
+	c.Counters.Cycles.Add(cycles)
+	c.Counters.Instrs.Add(uint64(seg.Instrs))
+	c.Counters.StallCyc.Add(stallOut)
+	if seg.IsOS() {
+		c.Counters.OSInstrs.Add(uint64(seg.Instrs))
+		c.Counters.OSCycles.Add(cycles)
+	} else {
+		c.Counters.UserInstrs.Add(uint64(seg.Instrs))
+		c.Counters.UserCycles.Add(cycles)
+	}
+	return cycles
+}
+
 // RunSegment executes one segment to completion and returns its cycle
 // cost. The in-order pipeline retires one instruction per cycle; each
 // I-line fetch and data reference that misses the L1 stalls retirement
-// for the full miss latency.
+// for the full miss latency. A core in warming mode takes the estimated
+// bulk path instead.
 func (c *Core) RunSegment(seg *trace.Segment) uint64 {
+	if c.warming {
+		return c.warmSegment(seg)
+	}
 	cycles := uint64(seg.Instrs)
 	stall := uint64(0)
 	for i := 0; i < seg.Instrs; i++ {
@@ -194,6 +318,11 @@ func (c *Core) RunSegment(seg *trace.Segment) uint64 {
 	}
 	cycles += stall
 
+	if seg.IsOS() {
+		c.cpiOS.update(cycles, uint64(seg.Instrs))
+	} else {
+		c.cpiUser.update(cycles, uint64(seg.Instrs))
+	}
 	c.Counters.Cycles.Add(cycles)
 	c.Counters.Instrs.Add(uint64(seg.Instrs))
 	c.Counters.StallCyc.Add(stall)
@@ -227,4 +356,13 @@ func (c *Core) ResetStats() {
 	c.Counters.Reset()
 	c.l1i.Stats.Reset()
 	c.l1d.Stats.Reset()
+}
+
+// CalibratedCPI reports the core's current calibrated cycles-per-
+// instruction estimates for user and OS segments (zero until warming
+// calibration has seen enough detailed instructions). Diagnostic.
+func (c *Core) CalibratedCPI() (user, os float64) {
+	user, _ = c.cpiUser.cpi()
+	os, _ = c.cpiOS.cpi()
+	return user, os
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSamplingAccuracy is the acceptance check for interval sampling:
+// on the Figure-4 threshold sweep at the documented validation scale,
+// sampled mode must stay within 2% normalized-IPC error of fully
+// detailed simulation on every workload class while running at least
+// 5x faster. The sweep is deterministic (fixed seeds), so the
+// tolerances clear the realized errors with margin rather than hoping
+// across reruns; the full three-threshold sweep lives behind
+// cmd/experiments -only sampling.
+func TestSamplingAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute sweep")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock speedup assertion is meaningless under -race; run via `make accuracy`")
+	}
+	res := SamplingAccuracy(SamplingAccuracyOptions{
+		Thresholds: []int{100},
+		Seeds:      []uint64{1, 2},
+	})
+	const errTolPct = 2.0
+	for wi, name := range res.Workloads {
+		for ti, n := range res.Thresholds {
+			if e := res.ErrPct[wi][ti]; e < -errTolPct || e > errTolPct {
+				t.Errorf("%s N=%d: normalized-IPC error %+.2f%% exceeds %.1f%%",
+					name, n, e, errTolPct)
+			}
+		}
+	}
+	const speedupFloor = 5.0
+	if res.Speedup < speedupFloor {
+		t.Errorf("speedup %.1fx below %.1fx (detailed %.1fs, sampled %.1fs)",
+			res.Speedup, speedupFloor, res.DetailedSecs, res.SampledSecs)
+	}
+}
+
+func TestSamplingAccuracyQuickShape(t *testing.T) {
+	res := SamplingAccuracy(SamplingAccuracyOptions{
+		Workloads:     []string{"apache"},
+		Thresholds:    []int{100},
+		Seeds:         []uint64{1},
+		WarmupInstrs:  100_000,
+		MeasureInstrs: 2_000_000,
+	})
+	if len(res.ErrPct) != 1 || len(res.ErrPct[0]) != 1 {
+		t.Fatalf("unexpected shape: %+v", res.ErrPct)
+	}
+	if len(res.MeanAbsErrPct) != 1 || len(res.MaxAbsErrPct) != 1 {
+		t.Fatal("missing row summaries")
+	}
+	if res.NormDetailed[0][0] <= 0 || res.NormSampled[0][0] <= 0 {
+		t.Fatal("non-positive normalized IPC")
+	}
+	if res.Speedup <= 0 {
+		t.Fatal("speedup not measured")
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "apache") || !strings.Contains(sb.String(), "speedup") {
+		t.Fatalf("render missing content:\n%s", sb.String())
+	}
+}

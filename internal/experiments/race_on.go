@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// The sampling accuracy sweep asserts a wall-clock speedup, which race
+// instrumentation distorts (and stretches to many minutes), so the test
+// skips itself under -race; `make ci` runs it in a separate plain pass.
+const raceEnabled = true

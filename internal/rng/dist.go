@@ -43,7 +43,16 @@ func (z *Zipf) N() int { return len(z.cdf) }
 
 // Draw returns a rank in [0, N()).
 func (z *Zipf) Draw() int {
-	u := z.src.Float64()
+	return z.DrawFrom(z.src)
+}
+
+// DrawFrom draws a rank using the caller's stream instead of the
+// sampler's own. Trace generation uses this to charge every
+// per-reference draw to the consuming segment's private stream, so the
+// number of references one segment performs can never shift the
+// randomness any other segment sees.
+func (z *Zipf) DrawFrom(src *Source) int {
+	u := src.Float64()
 	return sort.SearchFloat64s(z.cdf, u)
 }
 

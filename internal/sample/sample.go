@@ -1,0 +1,285 @@
+// Package sample layers replica fan-out and parallel interval replay on
+// top of the interval-sampled simulation engine in package sim. One
+// sampled run (sim.Simulator.RunSampled) extrapolates a single seed's
+// detailed intervals; Run replays Config.Sampling.Replicas independent
+// replicas — seeds Seed, Seed+1, … — across a worker pool bounded by
+// GOMAXPROCS and merges them deterministically, so the merged Result is
+// byte-identical however many workers happened to run concurrently.
+// The replica spread yields per-metric error estimates (Report).
+package sample
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"offloadsim/internal/sim"
+)
+
+// Estimate is one metric's cross-replica summary: the merged value, the
+// standard error of the mean, and the 95% confidence half-width relative
+// to the mean (zero when a single replica leaves nothing to compare).
+type Estimate struct {
+	Name   string
+	Mean   float64
+	StdErr float64
+	// RelCI95 is 1.96·StdErr/|Mean|, or 0 when Mean is 0.
+	RelCI95 float64
+}
+
+// Report carries the per-metric error estimates of a merged sampled run.
+type Report struct {
+	// Replicas is the number of independent replicas merged.
+	Replicas int
+	// Seeds lists the replica seeds in merge order.
+	Seeds []uint64
+	// Metrics holds cross-replica estimates in a fixed order, so the
+	// report marshals identically run to run.
+	Metrics []Estimate
+}
+
+// Metric returns the named estimate, or a zero Estimate when absent.
+func (r Report) Metric(name string) Estimate {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	return Estimate{}
+}
+
+// replica is one replica's outcome, slotted by index so the merge order
+// never depends on goroutine scheduling.
+type replica struct {
+	result  sim.Result
+	samples []sim.IntervalSample
+	err     error
+}
+
+// Run executes cfg as Sampling.Replicas independent interval-sampled
+// replicas in parallel and merges them into one Result. The merge is
+// deterministic: replicas are combined in seed order whatever the worker
+// interleaving, so the same Config produces byte-identical Result JSON
+// at GOMAXPROCS=1 and GOMAXPROCS=NumCPU.
+func Run(cfg sim.Config) (sim.Result, Report, error) {
+	cc, err := sim.Canonicalize(cfg)
+	if err != nil {
+		return sim.Result{}, Report{}, err
+	}
+	if !cc.Sampling.Enabled {
+		return sim.Result{}, Report{}, fmt.Errorf("sample: sampling disabled in config")
+	}
+	n := cc.Sampling.Replicas
+
+	reps := make([]replica, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers())
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rcfg := cc
+			rcfg.Seed = cc.Seed + uint64(i)
+			rcfg.Sampling.Replicas = 1
+			s, err := sim.New(rcfg)
+			if err != nil {
+				reps[i].err = err
+				return
+			}
+			reps[i].result, reps[i].samples = s.RunSampled()
+		}(i)
+	}
+	wg.Wait()
+	for i := range reps {
+		if reps[i].err != nil {
+			return sim.Result{}, Report{}, fmt.Errorf("sample: replica %d: %w", i, reps[i].err)
+		}
+	}
+
+	merged, report := merge(cc, reps)
+	return merged, report, nil
+}
+
+// RunMany runs several configurations through one shared worker pool —
+// the sweep-level counterpart of Run's replica fan-out. Results and
+// reports are returned in input order.
+func RunMany(cfgs []sim.Config) ([]sim.Result, []Report, error) {
+	results := make([]sim.Result, len(cfgs))
+	reports := make([]Report, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers())
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], reports[i], errs[i] = runSerial(cfgs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("sample: config %d: %w", i, err)
+		}
+	}
+	return results, reports, nil
+}
+
+// runSerial is Run without its own pool: RunMany already parallelizes
+// across configs, and nesting pools would oversubscribe the machine.
+func runSerial(cfg sim.Config) (sim.Result, Report, error) {
+	cc, err := sim.Canonicalize(cfg)
+	if err != nil {
+		return sim.Result{}, Report{}, err
+	}
+	if !cc.Sampling.Enabled {
+		return sim.Result{}, Report{}, fmt.Errorf("sampling disabled in config")
+	}
+	reps := make([]replica, cc.Sampling.Replicas)
+	for i := range reps {
+		rcfg := cc
+		rcfg.Seed = cc.Seed + uint64(i)
+		rcfg.Sampling.Replicas = 1
+		s, err := sim.New(rcfg)
+		if err != nil {
+			return sim.Result{}, Report{}, fmt.Errorf("replica %d: %w", i, err)
+		}
+		reps[i].result, reps[i].samples = s.RunSampled()
+	}
+	merged, report := merge(cc, reps)
+	return merged, report, nil
+}
+
+func workers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// reportMetrics lists the Result fields summarized across replicas, in
+// the fixed order they appear in a Report.
+var reportMetrics = []struct {
+	name string
+	get  func(*sim.Result) float64
+}{
+	{"Throughput", func(r *sim.Result) float64 { return r.Throughput }},
+	{"UserL2HitRate", func(r *sim.Result) float64 { return r.UserL2HitRate }},
+	{"UserL1DHit", func(r *sim.Result) float64 { return r.UserL1DHit }},
+	{"OSL2HitRate", func(r *sim.Result) float64 { return r.OSL2HitRate }},
+	{"OffloadRate", func(r *sim.Result) float64 { return r.OffloadRate }},
+	{"OSCoreUtilization", func(r *sim.Result) float64 { return r.OSCoreUtilization }},
+	{"MeanQueueDelay", func(r *sim.Result) float64 { return r.MeanQueueDelay }},
+}
+
+// merge folds the replicas into replica 0's Result in seed order.
+// Identity and end-of-run fields keep replica 0's values; measured
+// metrics become cross-replica means; provenance totals accumulate.
+func merge(cfg sim.Config, reps []replica) (sim.Result, Report) {
+	n := len(reps)
+	out := reps[0].result
+	report := Report{Replicas: n}
+	for i := 0; i < n; i++ {
+		report.Seeds = append(report.Seeds, cfg.Seed+uint64(i))
+	}
+
+	if n > 1 {
+		fm := func(get func(*sim.Result) float64) float64 {
+			var sum float64
+			for i := range reps {
+				sum += get(&reps[i].result)
+			}
+			return sum / float64(n)
+		}
+		um := func(get func(*sim.Result) uint64) uint64 {
+			var sum float64
+			for i := range reps {
+				sum += float64(get(&reps[i].result))
+			}
+			return uint64(sum/float64(n) + 0.5)
+		}
+		out.Throughput = fm(func(r *sim.Result) float64 { return r.Throughput })
+		for c := range out.PerCoreIPC {
+			out.PerCoreIPC[c] = fm(func(r *sim.Result) float64 { return r.PerCoreIPC[c] })
+		}
+		out.Instrs = um(func(r *sim.Result) uint64 { return r.Instrs })
+		out.Cycles = um(func(r *sim.Result) uint64 { return r.Cycles })
+		out.UserL2HitRate = fm(func(r *sim.Result) float64 { return r.UserL2HitRate })
+		out.OSL2HitRate = fm(func(r *sim.Result) float64 { return r.OSL2HitRate })
+		out.UserL1DHit = fm(func(r *sim.Result) float64 { return r.UserL1DHit })
+		out.OSEntries = um(func(r *sim.Result) uint64 { return r.OSEntries })
+		out.Offloads = um(func(r *sim.Result) uint64 { return r.Offloads })
+		out.OffloadRate = fm(func(r *sim.Result) float64 { return r.OffloadRate })
+		out.OverheadCycles = um(func(r *sim.Result) uint64 { return r.OverheadCycles })
+		out.OSCoreUtilization = fm(func(r *sim.Result) float64 { return r.OSCoreUtilization })
+		out.MeanQueueDelay = fm(func(r *sim.Result) float64 { return r.MeanQueueDelay })
+		out.MaxQueueDelay = fm(func(r *sim.Result) float64 { return r.MaxQueueDelay })
+		out.C2CTransfers = um(func(r *sim.Result) uint64 { return r.C2CTransfers })
+		out.Invalidations = um(func(r *sim.Result) uint64 { return r.Invalidations })
+		out.MemoryFills = um(func(r *sim.Result) uint64 { return r.MemoryFills })
+		out.MemoryWritebacks = um(func(r *sim.Result) uint64 { return r.MemoryWritebacks })
+		out.UserIdleCycles = um(func(r *sim.Result) uint64 { return r.UserIdleCycles })
+		out.OSBusyCycles = um(func(r *sim.Result) uint64 { return r.OSBusyCycles })
+		out.PredictorExact = fm(func(r *sim.Result) float64 { return r.PredictorExact })
+		out.PredictorWithin5 = fm(func(r *sim.Result) float64 { return r.PredictorWithin5 })
+		out.BinaryAccuracy = fm(func(r *sim.Result) float64 { return r.BinaryAccuracy })
+		out.AllEntryExact = fm(func(r *sim.Result) float64 { return r.AllEntryExact })
+		out.AllEntryBinaryAccuracy = fm(func(r *sim.Result) float64 { return r.AllEntryBinaryAccuracy })
+	}
+
+	// Provenance: interval counts accumulate across replicas; the
+	// headline error estimate comes from the replica spread once there
+	// is one, else from the single replica's interval spread.
+	prov := *reps[0].result.Sampling
+	for i := 1; i < n; i++ {
+		p := reps[i].result.Sampling
+		prov.Intervals += p.Intervals
+		prov.TotalIntervals += p.TotalIntervals
+		prov.SampledFraction += p.SampledFraction
+		if p.Estimator != prov.Estimator {
+			prov.Estimator = "mixed"
+		}
+	}
+	prov.SampledFraction /= float64(n)
+	prov.Replicas = n
+
+	for _, m := range reportMetrics {
+		vals := make([]float64, n)
+		for i := range reps {
+			vals[i] = m.get(&reps[i].result)
+		}
+		report.Metrics = append(report.Metrics, estimate(m.name, vals))
+	}
+	if n > 1 {
+		prov.ThroughputRelErr = report.Metric("Throughput").RelCI95
+	}
+	out.Sampling = &prov
+	return out, report
+}
+
+// estimate summarizes one metric's replica values.
+func estimate(name string, vals []float64) Estimate {
+	e := Estimate{Name: name}
+	for _, v := range vals {
+		e.Mean += v
+	}
+	e.Mean /= float64(len(vals))
+	if len(vals) < 2 {
+		return e
+	}
+	var ss float64
+	for _, v := range vals {
+		d := v - e.Mean
+		ss += d * d
+	}
+	e.StdErr = math.Sqrt(ss/float64(len(vals)-1)) / math.Sqrt(float64(len(vals)))
+	if e.Mean != 0 {
+		e.RelCI95 = 1.96 * e.StdErr / math.Abs(e.Mean)
+	}
+	return e
+}

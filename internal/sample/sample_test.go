@@ -1,0 +1,149 @@
+package sample
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"offloadsim/internal/policy"
+	"offloadsim/internal/sim"
+	"offloadsim/internal/workloads"
+)
+
+func testCfg(replicas int) sim.Config {
+	cfg := sim.DefaultConfig(workloads.Apache())
+	cfg.Policy = policy.HardwarePredictor
+	cfg.Threshold = 100
+	cfg.WarmupInstrs = 100_000
+	cfg.MeasureInstrs = 600_000
+	cfg.Sampling = sim.Sampling{
+		Enabled:               true,
+		IntervalInstrs:        5_000,
+		Ratio:                 5,
+		DetailedWarmIntervals: 1,
+		WarmStride:            8,
+		OSWarmStride:          2,
+		WarmupTailInstrs:      50_000,
+		Replicas:              replicas,
+	}
+	return cfg
+}
+
+func TestRunRejectsDisabledSampling(t *testing.T) {
+	cfg := testCfg(1)
+	cfg.Sampling = sim.Sampling{}
+	if _, _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted a config without sampling")
+	}
+}
+
+func TestRunMergesReplicas(t *testing.T) {
+	const n = 3
+	r, rep, err := Run(testCfg(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sampling == nil {
+		t.Fatal("merged result carries no provenance")
+	}
+	if r.Sampling.Replicas != n {
+		t.Errorf("provenance replicas %d, want %d", r.Sampling.Replicas, n)
+	}
+	if rep.Replicas != n || len(rep.Seeds) != n {
+		t.Errorf("report replicas %d seeds %v, want %d", rep.Replicas, rep.Seeds, n)
+	}
+	for i, s := range rep.Seeds {
+		if want := testCfg(n).Seed + uint64(i); s != want {
+			t.Errorf("seed[%d] = %d, want %d", i, s, want)
+		}
+	}
+
+	// Interval counts accumulate across replicas. Measured counts vary a
+	// little per seed (segments overshoot interval boundaries), so only
+	// the schedule-determined total is exact.
+	single, _, err := Run(testCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sampling.TotalIntervals != n*single.Sampling.TotalIntervals {
+		t.Errorf("merged total intervals %d, want %d", r.Sampling.TotalIntervals, n*single.Sampling.TotalIntervals)
+	}
+	if r.Sampling.Intervals <= single.Sampling.Intervals {
+		t.Errorf("merged measured intervals %d not above single replica's %d",
+			r.Sampling.Intervals, single.Sampling.Intervals)
+	}
+
+	tp := rep.Metric("Throughput")
+	if tp.Name == "" || tp.Mean <= 0 {
+		t.Fatalf("throughput estimate missing: %+v", tp)
+	}
+	if tp.Mean != r.Throughput {
+		t.Errorf("report mean %v != merged throughput %v", tp.Mean, r.Throughput)
+	}
+	if tp.StdErr < 0 || tp.RelCI95 < 0 {
+		t.Errorf("negative spread: %+v", tp)
+	}
+	if r.Sampling.ThroughputRelErr != tp.RelCI95 {
+		t.Errorf("provenance rel err %v != report %v", r.Sampling.ThroughputRelErr, tp.RelCI95)
+	}
+}
+
+// The acceptance property for parallel replay: the merged result is a
+// pure function of the Config, independent of how many workers ran the
+// replicas concurrently.
+func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	cfg := testCfg(4)
+	runAt := func(procs int) (string, Report) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		r, rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(j), rep
+	}
+
+	serial, serialRep := runAt(1)
+	// On single-core machines NumCPU is 1, which would make the second
+	// leg identical to the first; a floor of 4 still schedules the four
+	// replicas concurrently there.
+	procs := runtime.NumCPU()
+	if procs < 4 {
+		procs = 4
+	}
+	parallel, parallelRep := runAt(procs)
+	if serial != parallel {
+		t.Fatal("result JSON differs between GOMAXPROCS=1 and NumCPU")
+	}
+	if !reflect.DeepEqual(serialRep, parallelRep) {
+		t.Fatal("report differs between GOMAXPROCS=1 and NumCPU")
+	}
+}
+
+func TestRunManyMatchesRun(t *testing.T) {
+	cfgs := []sim.Config{testCfg(1), testCfg(2)}
+	results, reports, err := RunMany(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || len(reports) != 2 {
+		t.Fatalf("got %d results, %d reports", len(results), len(reports))
+	}
+	for i, cfg := range cfgs {
+		want, wantRep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Errorf("config %d: RunMany result differs from Run", i)
+		}
+		if !reflect.DeepEqual(reports[i], wantRep) {
+			t.Errorf("config %d: RunMany report differs from Run", i)
+		}
+	}
+}

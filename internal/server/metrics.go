@@ -20,6 +20,9 @@ type Metrics struct {
 	CacheHits   atomic.Uint64 // submissions served instantly from the result cache
 	CacheMisses atomic.Uint64 // submissions that required (or joined) a simulation
 
+	JobsSampled  atomic.Uint64 // simulations executed in interval-sampled mode
+	JobsDetailed atomic.Uint64 // simulations executed fully detailed
+
 	QueueDepth  atomic.Int64 // jobs sitting in the bounded queue
 	JobsRunning atomic.Int64 // jobs currently being simulated
 
@@ -54,6 +57,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("offsimd_jobs_coalesced_total", "Submissions coalesced onto identical in-flight jobs.", m.JobsCoalesced.Load())
 	counter("offsimd_cache_hits_total", "Submissions served from the result cache.", m.CacheHits.Load())
 	counter("offsimd_cache_misses_total", "Submissions not present in the result cache.", m.CacheMisses.Load())
+	counter("offsimd_jobs_sampled_total", "Simulations executed in interval-sampled mode.", m.JobsSampled.Load())
+	counter("offsimd_jobs_detailed_total", "Simulations executed fully detailed.", m.JobsDetailed.Load())
 	gauge("offsimd_queue_depth", "Jobs waiting in the bounded queue.", m.QueueDepth.Load())
 	gauge("offsimd_jobs_running", "Jobs currently being simulated.", m.JobsRunning.Load())
 	m.latency.writeTo(cw, "offsimd_job_latency_seconds", "Submit-to-finish job latency.")

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"offloadsim/internal/sample"
 	"offloadsim/internal/sim"
 )
 
@@ -78,6 +79,10 @@ func New(opts Options) *Server {
 		cache:   newResultCache(opts.CacheEntries),
 		queue:   newJobQueue(opts.QueueSize),
 		runSim: func(c sim.Config) (sim.Result, error) {
+			if c.Sampling.Enabled {
+				r, _, err := sample.Run(c)
+				return r, err
+			}
 			s, err := sim.New(c)
 			if err != nil {
 				return sim.Result{}, err
@@ -260,6 +265,11 @@ func (s *Server) execute(j *job) {
 	s.mu.Unlock()
 	s.metrics.JobsRunning.Add(1)
 	defer s.metrics.JobsRunning.Add(-1)
+	if j.cfg.Sampling.Enabled {
+		s.metrics.JobsSampled.Add(1)
+	} else {
+		s.metrics.JobsDetailed.Add(1)
+	}
 
 	ctx := s.baseCtx
 	if s.opts.JobTimeout > 0 {

@@ -55,6 +55,15 @@ type JobSpec struct {
 	MeasureInstrs *uint64 `json:"measure_instrs,omitempty"`
 	// Seed drives all stochastic behaviour (default 1).
 	Seed *uint64 `json:"seed,omitempty"`
+	// Mode selects the execution engine: "detailed" (default) simulates
+	// every instruction; "sampled" runs interval sampling with
+	// functional warming at the default schedule (docs/SAMPLING.md).
+	// Sampled and detailed runs of the same spec never share a cache
+	// key.
+	Mode string `json:"mode,omitempty"`
+	// Replicas merges that many independent sampled replicas (requires
+	// mode "sampled"; default 1).
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // Config translates the spec into a validated simulation config. All
@@ -142,6 +151,22 @@ func (j JobSpec) Config() (sim.Config, error) {
 		tc.BaseRun = tc.SampleEpoch * 4
 		tc.MaxRun = tc.BaseRun * 4
 		cfg.Tuner = tc
+	}
+	switch j.Mode {
+	case "", "detailed":
+		if j.Replicas > 1 {
+			return sim.Config{}, fmt.Errorf("replicas %d requires mode \"sampled\"", j.Replicas)
+		}
+	case "sampled":
+		cfg.Sampling = sim.DefaultSampling()
+		if j.Replicas < 0 {
+			return sim.Config{}, fmt.Errorf("negative replicas %d", j.Replicas)
+		}
+		if j.Replicas > 0 {
+			cfg.Sampling.Replicas = j.Replicas
+		}
+	default:
+		return sim.Config{}, fmt.Errorf("unknown mode %q (detailed, sampled)", j.Mode)
 	}
 	if err := cfg.Validate(); err != nil {
 		return sim.Config{}, err

@@ -75,6 +75,14 @@ func Canonicalize(c Config) (Config, error) {
 		c.DynamicN = false
 		c.Tuner = core.TunerConfig{}
 	}
+	// A disabled block drops stale knobs; an enabled one pins its
+	// defaults, so spelled-out defaults and blanks share a key while
+	// sampled and detailed runs never do. The warmup tail cannot exceed
+	// the warmup phase, so clamping erases that degree of freedom too.
+	c.Sampling = c.Sampling.withDefaults()
+	if c.Sampling.Enabled && c.Sampling.WarmupTailInstrs > c.WarmupInstrs {
+		c.Sampling.WarmupTailInstrs = c.WarmupInstrs
+	}
 	if c.OSCoreSlots < 1 {
 		c.OSCoreSlots = 1
 	}
@@ -126,6 +134,7 @@ type canonicalForm struct {
 	CPU            cpu.Config
 	Coherence      coherence.Config
 	OSCPU          *cpu.Config
+	Sampling       Sampling
 }
 
 // CanonicalKey returns a stable hex digest identifying the simulation c
@@ -159,6 +168,7 @@ func CanonicalKey(c Config) (string, error) {
 		CPU:            cc.CPU,
 		Coherence:      cc.Coherence,
 		OSCPU:          cc.OSCPU,
+		Sampling:       cc.Sampling,
 	}
 	raw, err := json.Marshal(form)
 	if err != nil {

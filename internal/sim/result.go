@@ -79,6 +79,34 @@ type Result struct {
 	// TunerHistory is core 0's epoch-by-epoch (threshold, hit-rate)
 	// trail when dynamic N is enabled; nil otherwise.
 	TunerHistory []core.Sample
+
+	// Sampling records how an interval-sampled run was extrapolated;
+	// nil for fully detailed runs.
+	Sampling *SamplingProvenance `json:",omitempty"`
+}
+
+// SamplingProvenance marks a Result as extrapolated from interval
+// sampling and carries its headline error estimate. Per-metric estimates
+// live in package sample's Report.
+type SamplingProvenance struct {
+	// Intervals is the number of detailed intervals measured (across
+	// all merged replicas).
+	Intervals int
+	// TotalIntervals is the number of intervals in the measurement
+	// window (across all merged replicas).
+	TotalIntervals int
+	// Replicas is the number of independent replicas merged.
+	Replicas int
+	// SampledFraction is the share of measured instructions executed in
+	// full detail.
+	SampledFraction float64
+	// Estimator names the extrapolation used for throughput:
+	// "regression" (cycle counts fitted against trace-exact interval
+	// covariates) or "ratio" (plain ratio-of-sums expansion).
+	Estimator string
+	// ThroughputRelErr is the 95% confidence half-width of the
+	// throughput estimate, relative to the estimate.
+	ThroughputRelErr float64
 }
 
 // collect gathers the result after measurement completes.

@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"offloadsim/internal/core"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/workloads"
+)
+
+// sampledCfg returns a unit-test-sized config with a schedule that
+// yields enough measured intervals for the regression estimator.
+func sampledCfg(kind policy.Kind) Config {
+	cfg := quickCfg(workloads.Apache(), kind)
+	cfg.WarmupInstrs = 100_000
+	cfg.MeasureInstrs = 1_000_000
+	cfg.Sampling = Sampling{
+		Enabled:               true,
+		IntervalInstrs:        5_000,
+		Ratio:                 5,
+		DetailedWarmIntervals: 1,
+		WarmStride:            8,
+		OSWarmStride:          2,
+		WarmupTailInstrs:      50_000,
+	}
+	return cfg
+}
+
+func TestSamplingValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Sampling
+	}{
+		{"ratio", Sampling{Enabled: true, Ratio: -1}},
+		{"stride", Sampling{Enabled: true, WarmStride: -2}},
+		{"osStride", Sampling{Enabled: true, OSWarmStride: -1}},
+		{"warmGEratio", Sampling{Enabled: true, Ratio: 2, DetailedWarmIntervals: 3}},
+		{"replicas", Sampling{Enabled: true, Replicas: -4}},
+		{"policy", Sampling{Enabled: true, Warming: WarmPolicy(9)}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: invalid block validated", c.name)
+		}
+	}
+	if err := (Sampling{}).Validate(); err != nil {
+		t.Errorf("disabled block rejected: %v", err)
+	}
+	if err := DefaultSampling().Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+
+	// Config-level: the epoch tuner has no defined semantics across
+	// functionally-warmed intervals.
+	tuned := sampledCfg(policy.HardwarePredictor)
+	tuned.DynamicN = true
+	tuned.Tuner = core.DefaultTunerConfig()
+	if err := tuned.Validate(); err == nil {
+		t.Error("Sampling+DynamicN validated")
+	}
+}
+
+func TestSamplingCanonicalKeys(t *testing.T) {
+	base := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	key := func(c Config) string {
+		k, err := CanonicalKey(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	detailed := key(base)
+
+	sampled := base
+	sampled.Sampling = Sampling{Enabled: true}
+	if key(sampled) == detailed {
+		t.Fatal("sampled and detailed configs share a cache key")
+	}
+
+	// An enabled block with zero fields canonicalizes to the spelled-out
+	// defaults.
+	explicit := base
+	explicit.Sampling = DefaultSampling()
+	if key(explicit) != key(sampled) {
+		t.Error("blank enabled block and explicit defaults have different keys")
+	}
+
+	// A disabled block with stale knobs canonicalizes to plain detailed.
+	stale := base
+	stale.Sampling = Sampling{Enabled: false, Ratio: 99, WarmStride: 3}
+	if key(stale) != detailed {
+		t.Error("disabled block with stale knobs changed the key")
+	}
+}
+
+func TestRunSampledDisabledFallsBack(t *testing.T) {
+	cfg := quickCfg(workloads.Apache(), policy.HardwarePredictor)
+	detailed := MustNew(cfg).Run()
+	viaSampled, samples := MustNew(cfg).RunSampled()
+	if samples != nil {
+		t.Fatalf("disabled sampling produced %d interval samples", len(samples))
+	}
+	if viaSampled.Sampling != nil {
+		t.Fatal("disabled sampling attached provenance")
+	}
+	if !reflect.DeepEqual(detailed, viaSampled) {
+		t.Fatal("RunSampled with sampling disabled differs from Run")
+	}
+}
+
+func TestRunSampledExtrapolates(t *testing.T) {
+	cfg := sampledCfg(policy.HardwarePredictor)
+	r, samples := MustNew(cfg).RunSampled()
+
+	if r.Sampling == nil {
+		t.Fatal("sampled run carries no provenance")
+	}
+	p := r.Sampling
+	if p.Intervals != len(samples) {
+		t.Errorf("provenance intervals %d != %d samples", p.Intervals, len(samples))
+	}
+	if len(samples) < olsMinSamples {
+		t.Fatalf("only %d samples; schedule should yield at least %d", len(samples), olsMinSamples)
+	}
+	if p.Estimator != "regression" {
+		t.Errorf("estimator %q, want regression with %d samples", p.Estimator, len(samples))
+	}
+	if p.SampledFraction <= 0 || p.SampledFraction >= 1 {
+		t.Errorf("sampled fraction %v outside (0,1)", p.SampledFraction)
+	}
+	if p.Replicas != 1 {
+		t.Errorf("single run reported %d replicas", p.Replicas)
+	}
+	if r.Throughput <= 0 || r.Throughput > float64(cfg.UserCores) {
+		t.Errorf("extrapolated throughput %v out of range", r.Throughput)
+	}
+	if r.Instrs < cfg.MeasureInstrs*uint64(cfg.UserCores) {
+		t.Errorf("retired %d instrs, want at least the %d measured",
+			r.Instrs, cfg.MeasureInstrs*uint64(cfg.UserCores))
+	}
+	for _, s := range samples {
+		if s.Instrs == 0 || s.Cycles == 0 {
+			t.Fatalf("interval %d measured empty window", s.Index)
+		}
+	}
+}
+
+func TestRunSampledDeterministic(t *testing.T) {
+	cfg := sampledCfg(policy.HardwarePredictor)
+	a, _ := MustNew(cfg).RunSampled()
+	b, _ := MustNew(cfg).RunSampled()
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("identical sampled runs produced different result JSON")
+	}
+}
+
+// WarmDetailed executes every interval at full detail, so the only
+// error left is extrapolating from the measured subset; the estimate
+// must land close to the fully detailed run.
+func TestRunSampledWarmDetailedTracksDetailed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison")
+	}
+	cfg := sampledCfg(policy.HardwarePredictor)
+	cfg.MeasureInstrs = 2_000_000
+	detailed := MustNew(cfg).Run()
+
+	cfg.Sampling.Warming = WarmDetailed
+	sampled, _ := MustNew(cfg).RunSampled()
+	// The run is deterministic, so the tolerance only needs to clear the
+	// subset noise of ~100 five-thousand-instruction windows.
+	rel := sampled.Throughput/detailed.Throughput - 1
+	if rel < -0.08 || rel > 0.08 {
+		t.Fatalf("WarmDetailed sampled throughput off by %+.2f%%", 100*rel)
+	}
+}

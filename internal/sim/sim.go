@@ -84,6 +84,12 @@ type Config struct {
 	WarmupInstrs  uint64
 	MeasureInstrs uint64
 
+	// Sampling, when enabled, replaces full detailed execution with
+	// interval sampling plus functional warming (see RunSampled and
+	// internal/sample). Disabled by default; zero-valued knobs of an
+	// enabled block take the documented defaults.
+	Sampling Sampling
+
 	// Seed drives all stochastic behaviour.
 	Seed uint64
 
@@ -195,6 +201,15 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.Sampling.Validate(); err != nil {
+		return err
+	}
+	// The §III-B tuner adapts on per-epoch feedback; functional warming
+	// changes what it would observe between measured windows, so the
+	// combination has no well-defined semantics.
+	if c.Sampling.Enabled && c.DynamicN {
+		return fmt.Errorf("sim: Sampling cannot be combined with DynamicN")
+	}
 	return nil
 }
 
@@ -207,6 +222,7 @@ type userCtx struct {
 
 	clock         uint64
 	retired       uint64 // workload instructions retired (incl. off-loaded)
+	osInstrs      uint64 // privileged instructions retired (subset of retired)
 	measureStart  uint64 // clock at measurement start
 	retiredAtMeas uint64
 
@@ -248,6 +264,7 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.Coherence.NumNodes == 0 {
 		cfg.Coherence = coherence.DefaultConfig()
 	}
+	cfg.Sampling = cfg.Sampling.withDefaults()
 	nodes := cfg.UserCores
 	if cfg.offloadCapable() {
 		nodes++
@@ -438,6 +455,9 @@ func (s *Simulator) step(u *userCtx) {
 // advance updates retirement and epoch bookkeeping after a segment.
 func (u *userCtx) advance(seg *trace.Segment) {
 	u.retired += uint64(seg.Instrs)
+	if seg.IsOS() {
+		u.osInstrs += uint64(seg.Instrs)
+	}
 	if u.tun == nil || !u.tuningEnabled {
 		return
 	}

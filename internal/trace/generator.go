@@ -47,6 +47,17 @@ type Generator struct {
 	coreID int
 	regs   *isa.RegFile
 	src    *rng.Source
+	// mix seeds one private per-reference stream per segment (one Fork
+	// per segment, a constant single draw). All data/ifetch randomness
+	// of a segment comes from its own fork, so executing more or fewer
+	// references — functional warming performs only a strided subset —
+	// can never desynchronize any other segment's addresses or the
+	// segment-parameter stream. Segment sequences and per-segment
+	// reference streams are therefore identical across execution modes
+	// and policies for a given seed, which is what lets sampled and
+	// detailed runs (and baseline/off-load pairs) be compared as
+	// common-random-number pairs.
+	mix *rng.Source
 
 	userCode *Region
 	userData *Region
@@ -78,6 +89,7 @@ func NewGenerator(prof *workloads.Profile, coreID int, kernel *KernelLayout, spa
 		coreID:   coreID,
 		regs:     isa.NewRegFile(),
 		src:      src,
+		mix:      src.Fork(),
 		kernel:   kernel,
 		userCode: NewRegion(space, prof.UserCodeLines, prof.HotFrac, prof.ZipfS, src.Fork()),
 		userData: NewRegion(space, prof.UserDataLines, prof.HotFrac, prof.ZipfS, src.Fork()),
@@ -199,7 +211,7 @@ func (g *Generator) userSegment(instrs int) Segment {
 		Instrs:   instrs,
 		MemRatio: g.prof.UserMemRatio,
 		codeMain: g.userCode,
-		src:      g.src,
+		src:      g.mix.Fork(),
 	}
 	seg.setSources(
 		dataSource{region: g.userData, cum: 1 - g.prof.UserSharedFrac, writeFrac: g.prof.UserWriteFrac},
@@ -239,7 +251,7 @@ func (g *Generator) trapSegment(id syscalls.ID) Segment {
 		AState:        astate,
 		Instrs:        instrs,
 		NominalInstrs: instrs,
-		src:           g.src,
+		src:           g.mix.Fork(),
 		codeMain:      g.kernel.SysCode[id],
 	}
 	switch id {
@@ -329,7 +341,7 @@ func (g *Generator) syscallSegment() Segment {
 		codeMain:      g.kernel.SysCode[id],
 		codeAlt:       g.kernel.CommonCode,
 		codeAltProb:   commonCodePct,
-		src:           g.src,
+		src:           g.mix.Fork(),
 	}
 	extFrac := 0.0
 	if interrupted {

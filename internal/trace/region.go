@@ -93,8 +93,19 @@ func (r *Region) Contains(lineAddr uint64) bool {
 
 // Next returns the next referenced line address.
 func (r *Region) Next() uint64 {
-	if r.src.Bool(r.hotFrac) {
-		return r.base + uint64(r.zipf.Draw())
+	return r.NextFrom(r.src)
+}
+
+// NextFrom draws the next referenced line address from the caller's
+// stream. Segments use this so that all per-reference randomness comes
+// from the segment's private stream: a segment that issues only a
+// strided subset of its references (functional warming) consumes draws
+// from its own fork and leaves every other segment's addresses — and
+// therefore the rest of the trace — bit-identical to a fully detailed
+// execution.
+func (r *Region) NextFrom(src *rng.Source) uint64 {
+	if src.Bool(r.hotFrac) {
+		return r.base + uint64(r.zipf.DrawFrom(src))
 	}
-	return r.base + uint64(r.src.Intn(r.lines))
+	return r.base + uint64(src.Intn(r.lines))
 }

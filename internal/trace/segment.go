@@ -109,20 +109,38 @@ func (s *Segment) NextData() (lineAddr uint64, write bool) {
 	for i := 0; i < s.nSources; i++ {
 		if u <= s.sources[i].cum {
 			src := &s.sources[i]
-			return src.region.Next(), s.src.Bool(src.writeFrac)
+			return src.region.NextFrom(s.src), s.src.Bool(src.writeFrac)
 		}
 	}
 	// Unreachable: the last cum is pinned to 1.0.
 	src := &s.sources[s.nSources-1]
-	return src.region.Next(), s.src.Bool(src.writeFrac)
+	return src.region.NextFrom(s.src), s.src.Bool(src.writeFrac)
+}
+
+// BatchRefs converts the segment's length into whole reference counts
+// for functional warming, where references are issued in bulk instead of
+// per instruction. ifCarry is the instruction count since the last
+// I-line fetch (cpu.Config.IFetchInterval domain) and dataCarry the
+// fractional data-reference accumulator; both are returned updated so a
+// warming stream stays in step with the per-instruction accounting a
+// detailed segment would have performed.
+func (s *Segment) BatchRefs(ifInterval int, ifCarry int, dataCarry float64) (nIFetch, newIFCarry int, nData int, newDataCarry float64) {
+	newIFCarry = ifCarry + s.Instrs
+	nIFetch = newIFCarry / ifInterval
+	newIFCarry -= nIFetch * ifInterval
+
+	newDataCarry = dataCarry + s.MemRatio*float64(s.Instrs)
+	nData = int(newDataCarry)
+	newDataCarry -= float64(nData)
+	return nIFetch, newIFCarry, nData, newDataCarry
 }
 
 // NextIFetch returns the next instruction-fetch line address.
 func (s *Segment) NextIFetch() uint64 {
 	if s.codeAlt != nil && s.src.Bool(s.codeAltProb) {
-		return s.codeAlt.Next()
+		return s.codeAlt.NextFrom(s.src)
 	}
-	return s.codeMain.Next()
+	return s.codeMain.NextFrom(s.src)
 }
 
 // IsOS reports whether the segment executes in privileged mode.

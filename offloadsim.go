@@ -8,6 +8,7 @@ import (
 	"offloadsim/internal/experiments"
 	"offloadsim/internal/migration"
 	"offloadsim/internal/policy"
+	"offloadsim/internal/sample"
 	"offloadsim/internal/sim"
 	"offloadsim/internal/workloads"
 )
@@ -124,6 +125,24 @@ func Run(cfg Config) (Result, error) {
 	}
 	return s.Run(), nil
 }
+
+// Sampling configures interval-sampled execution (Config.Sampling): one
+// interval in Sampling.Ratio runs in full detail, the rest keep caches
+// and predictors warm at a fraction of the cost, and the detailed
+// intervals are extrapolated into a Result.
+type Sampling = sim.Sampling
+
+// SamplingReport carries cross-replica per-metric error estimates.
+type SamplingReport = sample.Report
+
+// DefaultSampling returns an enabled sampling block with the validated
+// default schedule (see docs/SAMPLING.md).
+func DefaultSampling() Sampling { return sim.DefaultSampling() }
+
+// RunSampled runs cfg in interval-sampling mode: Sampling.Replicas
+// independent replicas replay in parallel and merge deterministically.
+// cfg.Sampling must be enabled.
+func RunSampled(cfg Config) (Result, SamplingReport, error) { return sample.Run(cfg) }
 
 // Workloads returns all modeled benchmark profiles: apache, specjbb and
 // derby (servers), plus the six-member compute group.
