@@ -1,0 +1,119 @@
+// Engine bench trajectory: `make bench-engine` (OFFLOADSIM_BENCH_ENGINE=
+// BENCH_engine.json go test -run TestWriteBenchEngineJSON) measures the
+// four shared engine benchmarks (internal/enginebench) and writes
+// BENCH_engine.json, comparing against the pre-optimization baseline
+// recorded below. The baseline was measured with the same benchmark
+// bodies at the pre-rewrite commit, so the speedup column is the
+// tentpole's headline number.
+package offloadsim_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"offloadsim/internal/enginebench"
+)
+
+// engineBenchRow is one measurement set: nanoseconds per operation for
+// the three microbenchmarks, end-to-end simulated instructions per wall
+// second, and the core step's allocation count.
+type engineBenchRow struct {
+	Commit              string  `json:"commit,omitempty"`
+	CacheProbeNs        float64 `json:"cache_probe_ns_per_op"`
+	DirectoryLookupNs   float64 `json:"directory_lookup_ns_per_op"`
+	DirectoryMissNs     float64 `json:"directory_miss_ns_per_op"`
+	CoreStepNsPerInstr  float64 `json:"core_step_ns_per_instr"`
+	CoreStepAllocsPerOp float64 `json:"core_step_allocs_per_op"`
+	DetailedInstrsPerS  float64 `json:"detailed_sim_instrs_per_sec"`
+}
+
+// engineBaseline is the pre-optimization engine, measured at commit
+// a721101 (the last commit before the hot-path rewrite) on the same
+// benchmark bodies. Regenerating the baseline is only legitimate when
+// the benchmark definitions themselves change.
+var engineBaseline = engineBenchRow{
+	Commit:              "a721101",
+	CacheProbeNs:        engineBaselineCacheProbeNs,
+	DirectoryLookupNs:   engineBaselineDirLookupNs,
+	DirectoryMissNs:     engineBaselineDirMissNs,
+	CoreStepNsPerInstr:  engineBaselineCoreStepNsPerInstr,
+	CoreStepAllocsPerOp: engineBaselineCoreStepAllocs,
+	DetailedInstrsPerS:  engineBaselineDetailedInstrsPerS,
+}
+
+type engineBenchFile struct {
+	Description string         `json:"description"`
+	Baseline    engineBenchRow `json:"baseline"`
+	Current     engineBenchRow `json:"current"`
+	// SpeedupDetailed is current/baseline end-to-end simulated
+	// instructions per second — the tentpole's >=2x target.
+	SpeedupDetailed float64 `json:"speedup_detailed"`
+	// SpeedupCoreStep is baseline/current core-step ns per instruction.
+	SpeedupCoreStep float64 `json:"speedup_core_step"`
+}
+
+// Pre-optimization measurements behind engineBaseline (see its comment).
+const (
+	engineBaselineCacheProbeNs       = 5.2
+	engineBaselineDirLookupNs        = 49.7
+	engineBaselineDirMissNs          = 203.6
+	engineBaselineCoreStepNsPerInstr = 49.4
+	engineBaselineCoreStepAllocs     = 3
+	engineBaselineDetailedInstrsPerS = 17_928_392
+)
+
+// BenchmarkEngineDetailedRun is the root view of the end-to-end engine
+// benchmark (the other engine benchmarks live next to their packages).
+func BenchmarkEngineDetailedRun(b *testing.B) { enginebench.DetailedRun(b) }
+
+// measureEngine runs the shared benchmark bodies once each.
+func measureEngine() engineBenchRow {
+	probe := testing.Benchmark(enginebench.CacheProbe)
+	lookup := testing.Benchmark(enginebench.DirectoryLookup)
+	miss := testing.Benchmark(enginebench.DirectoryMiss)
+	step := testing.Benchmark(enginebench.CoreStep)
+	run := testing.Benchmark(enginebench.DetailedRun)
+	return engineBenchRow{
+		CacheProbeNs:        float64(probe.NsPerOp()),
+		DirectoryLookupNs:   float64(lookup.NsPerOp()),
+		DirectoryMissNs:     float64(miss.NsPerOp()),
+		CoreStepNsPerInstr:  float64(step.NsPerOp()) / step.Extra["instrs/op"],
+		CoreStepAllocsPerOp: float64(step.AllocsPerOp()),
+		DetailedInstrsPerS:  run.Extra["sim_instrs/s"],
+	}
+}
+
+// TestWriteBenchEngineJSON is the engine of `make bench-engine`. It is a
+// no-op unless OFFLOADSIM_BENCH_ENGINE names the output file, so plain
+// `go test` stays fast.
+func TestWriteBenchEngineJSON(t *testing.T) {
+	path := os.Getenv("OFFLOADSIM_BENCH_ENGINE")
+	if path == "" {
+		t.Skip("set OFFLOADSIM_BENCH_ENGINE=<file> to run the engine bench")
+	}
+	cur := measureEngine()
+	out := engineBenchFile{
+		Description: "detailed-engine hot-path benchmarks; baseline = pre-optimization commit, same bodies",
+		Baseline:    engineBaseline,
+		Current:     cur,
+		SpeedupDetailed: cur.DetailedInstrsPerS /
+			engineBaseline.DetailedInstrsPerS,
+		SpeedupCoreStep: engineBaseline.CoreStepNsPerInstr /
+			cur.CoreStepNsPerInstr,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: detailed %.2fM instrs/s (baseline %.2fM, %.2fx), core step %.2f ns/instr (%.2fx), %g allocs/op",
+		path, cur.DetailedInstrsPerS/1e6, engineBaseline.DetailedInstrsPerS/1e6,
+		out.SpeedupDetailed, cur.CoreStepNsPerInstr, out.SpeedupCoreStep,
+		cur.CoreStepAllocsPerOp)
+}

@@ -1,0 +1,175 @@
+// Golden-result gate: every configuration in the canonical matrix must
+// produce byte-identical sim.Result JSON to the corpus committed under
+// testdata/golden/. The corpus was generated at the pre-optimization
+// commit of the engine rewrite, so any hot-path change that perturbs a
+// single random draw, latency composition or counter shows up here as a
+// diff — performance work on a simulator is only trustworthy when its
+// results are provably unchanged.
+//
+// Regenerate with `make golden` (go test -run TestGoldenResults -update).
+// Regeneration is legitimate only when a change *intends* to alter
+// simulated behaviour (a model fix, a new default); it is never
+// legitimate for a performance PR. docs/PERFORMANCE.md has the workflow.
+package offloadsim_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"offloadsim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from the current engine (never for a perf PR)")
+
+// goldenWorkloads is the corpus's workload axis: the paper's three server
+// workloads plus one compute representative.
+var goldenWorkloads = []string{"apache", "specjbb", "derby", "blackscholes"}
+
+// goldenCase is one cell of the matrix.
+type goldenCase struct {
+	name    string
+	sampled bool
+	cfg     offloadsim.Config
+}
+
+// goldenSampling is a compressed sampling schedule so the sampled cells
+// exercise interval switching, warming and extrapolation at corpus scale
+// (60 intervals, 6 detailed per run).
+func goldenSampling() offloadsim.Sampling {
+	s := offloadsim.DefaultSampling()
+	s.IntervalInstrs = 10_000
+	s.Ratio = 10
+	s.WarmupTailInstrs = 100_000
+	return s
+}
+
+// goldenCases builds the matrix: workload x {baseline, static-N,
+// dynamic-N} x {detailed, sampled}. Dynamic-N has no sampled cell — the
+// combination is rejected by config validation (the epoch tuner's
+// feedback is undefined under functional warming).
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, wl := range goldenWorkloads {
+		prof, ok := offloadsim.WorkloadByName(wl)
+		if !ok {
+			panic("unknown golden workload " + wl)
+		}
+		base := offloadsim.DefaultConfig(prof)
+		base.WarmupInstrs = 200_000
+		base.MeasureInstrs = 500_000
+		base.Seed = 1
+
+		variants := []struct {
+			name string
+			mut  func(*offloadsim.Config)
+		}{
+			{"baseline", func(c *offloadsim.Config) {
+				c.Policy = offloadsim.Baseline
+				c.Threshold = 0
+			}},
+			{"static100", func(c *offloadsim.Config) {
+				c.Policy = offloadsim.HardwarePredictor
+				c.Threshold = 100
+			}},
+			{"dynamic", func(c *offloadsim.Config) {
+				c.Policy = offloadsim.HardwarePredictor
+				c.Threshold = 100
+				c.DynamicN = true
+				c.Tuner = offloadsim.DefaultTunerConfig()
+			}},
+		}
+		for _, v := range variants {
+			cfg := base
+			v.mut(&cfg)
+			cases = append(cases, goldenCase{
+				name: fmt.Sprintf("%s_%s_detailed", wl, v.name),
+				cfg:  cfg,
+			})
+			if cfg.DynamicN {
+				continue // Sampling+DynamicN is rejected by Validate.
+			}
+			scfg := cfg
+			scfg.Sampling = goldenSampling()
+			cases = append(cases, goldenCase{
+				name:    fmt.Sprintf("%s_%s_sampled", wl, v.name),
+				sampled: true,
+				cfg:     scfg,
+			})
+		}
+	}
+	return cases
+}
+
+// goldenJSON runs one case and renders its Result in the corpus encoding.
+func goldenJSON(t testing.TB, gc goldenCase) []byte {
+	var (
+		res offloadsim.Result
+		err error
+	)
+	if gc.sampled {
+		res, _, err = offloadsim.RunSampled(gc.cfg)
+	} else {
+		res, err = offloadsim.Run(gc.cfg)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", gc.name, err)
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatalf("%s: encoding result: %v", gc.name, err)
+	}
+	return append(raw, '\n')
+}
+
+func TestGoldenResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus is not a -short test")
+	}
+	dir := filepath.Join("testdata", "golden")
+	if *updateGolden {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for _, gc := range goldenCases() {
+		gc := gc
+		seen[gc.name+".json"] = true
+		t.Run(gc.name, func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join(dir, gc.name+".json")
+			got := goldenJSON(t, gc)
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `make golden` at a known-good commit): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("result drifted from golden corpus %s\n--- want ---\n%s\n--- got ---\n%s",
+					path, want, got)
+			}
+		})
+	}
+	// The corpus must not carry stale cells the matrix no longer produces.
+	if !*updateGolden {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading corpus dir: %v", err)
+		}
+		for _, e := range entries {
+			if !seen[e.Name()] {
+				t.Errorf("stale golden file %s (not produced by the matrix; remove or `make golden`)", e.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package cache_test
+
+import (
+	"testing"
+
+	"offloadsim/internal/enginebench"
+)
+
+// BenchmarkCacheProbe is the package-local view of the shared engine
+// benchmark: one steady-state hit access (lookup + touch) on a Table II
+// L2 array. Must report 0 allocs/op.
+func BenchmarkCacheProbe(b *testing.B) { enginebench.CacheProbe(b) }

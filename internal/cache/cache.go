@@ -223,6 +223,18 @@ func (c *Cache) Lookup(lineAddr uint64) State {
 	return Invalid
 }
 
+// Probe returns the state of the line containing lineAddr, recording a
+// use (replacement touch) when the line is present. It is the hot-path
+// combination of Lookup and Touch: every present-line access updates
+// recency, and Invalid means absent.
+func (c *Cache) Probe(lineAddr uint64) State {
+	st := c.Lookup(lineAddr)
+	if st != Invalid {
+		c.Touch(lineAddr)
+	}
+	return st
+}
+
 // Touch records a use of the line for replacement purposes and counts a
 // hit. It must only be called when the line is present.
 func (c *Cache) Touch(lineAddr uint64) {

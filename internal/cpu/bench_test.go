@@ -1,0 +1,12 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"offloadsim/internal/enginebench"
+)
+
+// BenchmarkCoreStep is the inner loop of the detailed engine: one
+// segment stepped through an in-order core in steady state. Must report
+// 0 allocs/op; TestCoreStepZeroAllocs pins that.
+func BenchmarkCoreStep(b *testing.B) { enginebench.CoreStep(b) }
