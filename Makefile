@@ -6,12 +6,18 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test race server-race build bench bench-json accuracy
+.PHONY: ci fmt vet test race server-race build build-examples bench \
+	bench-json bench-engine accuracy golden golden-check fuzz-smoke
 
-ci: fmt vet race accuracy
+ci: fmt vet build-examples race golden-check fuzz-smoke accuracy
 
 build:
 	$(GO) build ./...
+
+# The examples are excluded from `go build ./...`-style wildcard test
+# runs but must keep compiling against the facade.
+build-examples:
+	$(GO) build ./examples/...
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -38,9 +44,36 @@ accuracy:
 	$(GO) test -run '^TestSamplingAccuracy$$' -count=1 -v ./internal/experiments/
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ -pgo=default.pgo .
 
 # Runs the Figure-4 threshold sweep in detailed and sampled mode and
 # writes BENCH_sweep.json (ns/op, simulated instrs/sec, speedup).
 bench-json:
 	OFFLOADSIM_BENCH_JSON=BENCH_sweep.json $(GO) test -run '^TestWriteBenchSweepJSON$$' -count=1 -v .
+
+# Engine hot-path trajectory: runs the shared microbenchmark bodies
+# (internal/enginebench) plus the end-to-end detailed run and writes
+# BENCH_engine.json against the recorded pre-optimization baseline.
+# -pgo is explicit because `go test` does not pick up a root
+# default.pgo automatically (see docs/PERFORMANCE.md).
+bench-engine:
+	OFFLOADSIM_BENCH_ENGINE=BENCH_engine.json $(GO) test -run '^TestWriteBenchEngineJSON$$' -count=1 -v -pgo=default.pgo .
+
+# Byte-identical golden gate: the corpus in testdata/golden must
+# replay exactly. Part of `make ci`; a perf PR that fails this changed
+# observable behavior (docs/PERFORMANCE.md, "The golden workflow").
+golden-check:
+	$(GO) test -run '^TestGoldenResults$$' -count=1 .
+
+# Regenerate the golden corpus from the current engine. ONLY for
+# intentional modeling changes — never to make a perf PR pass.
+golden:
+	$(GO) test -run '^TestGoldenResults$$' -update -count=1 .
+	@echo "testdata/golden regenerated — review 'git diff testdata/golden/' before committing"
+
+# Short fuzz runs of the config-canonicalization and policy-parsing
+# fuzzers; part of `make ci`. The committed seed corpora live under
+# each package's testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzCanonicalize$$' -fuzztime 10s ./internal/sim/
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime 10s ./internal/policy/

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -52,6 +54,8 @@ func main() {
 		energy        = flag.Bool("energy", false, "include energy/EDP columns (default power model)")
 		sampled       = flag.Bool("sampled", false, "run every point in interval-sampling mode (default schedule; see docs/SAMPLING.md)")
 		replicas      = flag.Int("replicas", 1, "independent sampled replicas merged per point (requires -sampled)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (pprof format)")
+		memProfile    = flag.String("memprofile", "", "write an end-of-sweep heap profile to this file (pprof format)")
 	)
 	flag.Parse()
 
@@ -83,6 +87,36 @@ func main() {
 	}
 	if *replicas > 1 && !*sampled {
 		fail("-replicas requires -sampled")
+	}
+
+	// Profiling hooks: a sweep is the natural harness for profiling the
+	// simulation engine under a realistic mix (docs/PERFORMANCE.md walks
+	// through the workflow). CPU profiling covers the whole grid; the
+	// heap profile is taken after the last point so it shows steady-state
+	// retention, not construction transients.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("creating -cpuprofile: " + err.Error())
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("starting CPU profile: " + err.Error())
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail("creating -memprofile: " + err.Error())
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail("writing heap profile: " + err.Error())
+			}
+		}()
 	}
 	runOne := func(cfg offloadsim.Config) (offloadsim.Result, error) {
 		if !*sampled {

@@ -137,22 +137,45 @@ func (s *Stats) Reset() {
 	s.Backinvals.Reset()
 }
 
-type line struct {
-	tag     uint64 // full line address (addr >> lineShift); tag+index in one
-	state   State
-	lastUse uint64 // generation stamp for LRU
+// invalidTag marks an empty way in the tag array. Line addresses are
+// byte addresses shifted right by at least 6, so no reachable line can
+// collide with it; Allocate enforces this.
+const invalidTag = ^uint64(0)
+
+// wayRec is the complete per-way bookkeeping record: the tag word and a
+// packed word carrying the LRU generation stamp (upper 56 bits) and the
+// MESI state (low byte). Every generation stamp is written from a fresh
+// gen++ and is therefore unique within the cache, so ordering packed
+// words is identical to ordering raw stamps — the state byte can never
+// break an LRU tie that does not exist. Keeping the record 16 bytes
+// means a replacement-hint hit reads and updates one cache line instead
+// of three parallel arrays.
+type wayRec struct {
+	tag      uint64 // invalidTag when the way is empty
+	useState uint64 // gen<<8 | uint64(state)
 }
+
+const stateBits = 8
 
 // Cache is one set-associative tag/state array. It is deliberately a
 // *bookkeeping* structure: it records presence and MESI state and chooses
 // victims, while latency composition and inter-cache movement are the
 // callers' business.
+//
+// Storage is one flat record array, set-major: set s occupies indexes
+// [s*Ways, (s+1)*Ways). The hot-path way scan compares the tag words —
+// 16-byte strided, at most four host lines for a 16-way set — with empty
+// ways holding a sentinel tag that matches nothing, so presence checks
+// never consult state or recency until a hit is found.
 type Cache struct {
 	cfg       Config
 	lineShift uint
 	setMask   uint64
-	sets      [][]line
-	plru      [][]bool // per-set PLRU tree nodes (Ways-1 nodes)
+	ways      int
+	nSets     int
+	recs      []wayRec
+	plru      []bool   // nSets*2*Ways tree nodes (TreePLRU only), set-major
+	hint      []uint16 // per-set most-recently-hit way, a pure scan shortcut
 	gen       uint64
 	rnd       *rng.Source
 
@@ -173,19 +196,19 @@ func New(cfg Config, rnd *rng.Source) (*Cache, error) {
 		cfg:       cfg,
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		setMask:   uint64(nSets - 1),
-		sets:      make([][]line, nSets),
+		ways:      cfg.Ways,
+		nSets:     nSets,
+		recs:      make([]wayRec, nSets*cfg.Ways),
+		hint:      make([]uint16, nSets),
 		rnd:       rnd,
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+	for i := range c.recs {
+		c.recs[i].tag = invalidTag
 	}
 	if cfg.Policy == TreePLRU {
-		c.plru = make([][]bool, nSets)
-		for i := range c.plru {
-			// Node 0 is unused; a complete path over a non-power-of-two
-			// way count can reach index 2*Ways-1.
-			c.plru[i] = make([]bool, 2*cfg.Ways)
-		}
+		// Node 0 of each per-set tree is unused; a complete path over a
+		// non-power-of-two way count can reach index 2*Ways-1.
+		c.plru = make([]bool, nSets*2*cfg.Ways)
 	}
 	return c, nil
 }
@@ -203,52 +226,79 @@ func MustNew(cfg Config, rnd *rng.Source) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return c.nSets }
 
 // LineAddr converts a byte address to a line address.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
 
 func (c *Cache) setIndex(lineAddr uint64) int { return int(lineAddr & c.setMask) }
 
+// find returns the flat index of lineAddr's way, or -1 when absent. The
+// scan touches only the contiguous tag words; empty ways hold invalidTag
+// and match nothing.
+func (c *Cache) find(lineAddr uint64) int {
+	base := c.setIndex(lineAddr) * c.ways
+	recs := c.recs[base : base+c.ways]
+	for i := range recs {
+		if recs[i].tag == lineAddr {
+			return base + i
+		}
+	}
+	return -1
+}
+
 // Lookup returns the state of the line containing addr (line-address
 // domain) without updating replacement metadata or counters. Invalid means
 // absent.
 func (c *Cache) Lookup(lineAddr uint64) State {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			return set[i].state
-		}
+	if i := c.find(lineAddr); i >= 0 {
+		return State(c.recs[i].useState)
 	}
 	return Invalid
 }
 
 // Probe returns the state of the line containing lineAddr, recording a
 // use (replacement touch) when the line is present. It is the hot-path
-// combination of Lookup and Touch: every present-line access updates
-// recency, and Invalid means absent.
+// combination of Lookup and Touch in one way scan: every present-line
+// access updates recency, and Invalid means absent.
 func (c *Cache) Probe(lineAddr uint64) State {
-	st := c.Lookup(lineAddr)
-	if st != Invalid {
-		c.Touch(lineAddr)
+	// Most hits land on the way the set hit last time; checking it first
+	// skips the way scan entirely. The hint is only a shortcut — a stale
+	// hint falls through to the scan and every outcome is identical.
+	si := c.setIndex(lineAddr)
+	base := si * c.ways
+	if h := base + int(c.hint[si]); c.recs[h].tag == lineAddr && c.plru == nil {
+		c.gen++
+		st := State(c.recs[h].useState)
+		c.recs[h].useState = c.gen<<stateBits | uint64(st)
+		return st
 	}
-	return st
+	recs := c.recs[base : base+c.ways]
+	for w := range recs {
+		if recs[w].tag == lineAddr {
+			c.hint[si] = uint16(w)
+			c.gen++
+			st := State(recs[w].useState)
+			recs[w].useState = c.gen<<stateBits | uint64(st)
+			if c.plru != nil {
+				c.updatePLRU(si, w)
+			}
+			return st
+		}
+	}
+	return Invalid
 }
 
 // Touch records a use of the line for replacement purposes and counts a
 // hit. It must only be called when the line is present.
 func (c *Cache) Touch(lineAddr uint64) {
-	si := c.setIndex(lineAddr)
-	set := c.sets[si]
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			c.gen++
-			set[i].lastUse = c.gen
-			c.updatePLRU(si, i)
-			return
-		}
+	i := c.find(lineAddr)
+	if i < 0 {
+		panic(fmt.Sprintf("cache %q: Touch of absent line %#x", c.cfg.Name, lineAddr))
 	}
-	panic(fmt.Sprintf("cache %q: Touch of absent line %#x", c.cfg.Name, lineAddr))
+	c.gen++
+	c.recs[i].useState = c.gen<<stateBits | c.recs[i].useState&(1<<stateBits-1)
+	c.updatePLRU(i/c.ways, i%c.ways)
 }
 
 // SetState transitions the MESI state of a present line (e.g. S->M on an
@@ -259,29 +309,24 @@ func (c *Cache) SetState(lineAddr uint64, st State) {
 		c.Invalidate(lineAddr)
 		return
 	}
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			set[i].state = st
-			return
-		}
+	i := c.find(lineAddr)
+	if i < 0 {
+		panic(fmt.Sprintf("cache %q: SetState(%v) of absent line %#x", c.cfg.Name, st, lineAddr))
 	}
-	panic(fmt.Sprintf("cache %q: SetState(%v) of absent line %#x", c.cfg.Name, st, lineAddr))
+	c.recs[i].useState = c.recs[i].useState&^(1<<stateBits-1) | uint64(st)
 }
 
 // Invalidate removes the line if present and returns its previous state.
 // Used both for coherence invalidations and for inclusive back-invalidates.
 func (c *Cache) Invalidate(lineAddr uint64) State {
-	set := c.sets[c.setIndex(lineAddr)]
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			prev := set[i].state
-			set[i].state = Invalid
-			c.Stats.Backinvals.Inc()
-			return prev
-		}
+	i := c.find(lineAddr)
+	if i < 0 {
+		return Invalid
 	}
-	return Invalid
+	prev := State(c.recs[i].useState)
+	c.recs[i] = wayRec{tag: invalidTag}
+	c.Stats.Backinvals.Inc()
+	return prev
 }
 
 // Victim describes a line displaced by Allocate.
@@ -298,53 +343,66 @@ func (c *Cache) Allocate(lineAddr uint64, st State) (Victim, bool) {
 	if st == Invalid {
 		panic(fmt.Sprintf("cache %q: Allocate in Invalid state", c.cfg.Name))
 	}
+	if lineAddr == invalidTag {
+		panic(fmt.Sprintf("cache %q: Allocate of reserved line address", c.cfg.Name))
+	}
 	si := c.setIndex(lineAddr)
-	set := c.sets[si]
-	// Already present: refresh.
-	for i := range set {
-		if set[i].state != Invalid && set[i].tag == lineAddr {
-			set[i].state = st
+	base := si * c.ways
+	// One scan finds both an already-present line (refresh) and the first
+	// free way. The free way matters only when the line is absent, and a
+	// present line is unique in its set, so the merged scan decides
+	// exactly what the two separate scans did.
+	free := -1
+	recs := c.recs[base : base+c.ways]
+	for w := range recs {
+		if recs[w].tag == lineAddr {
 			c.gen++
-			set[i].lastUse = c.gen
-			c.updatePLRU(si, i)
+			recs[w].useState = c.gen<<stateBits | uint64(st)
+			c.hint[si] = uint16(w)
+			c.updatePLRU(si, w)
 			return Victim{}, false
+		}
+		if free < 0 && recs[w].tag == invalidTag {
+			free = w
 		}
 	}
-	// Free way?
-	for i := range set {
-		if set[i].state == Invalid {
-			c.fill(si, i, lineAddr, st)
-			return Victim{}, false
-		}
+	if free >= 0 {
+		c.fill(si, free, lineAddr, st)
+		return Victim{}, false
 	}
 	// Evict.
-	vi := c.chooseVictim(si)
-	v := Victim{LineAddr: set[vi].tag, State: set[vi].state}
+	vi := base + c.chooseVictim(si)
+	v := Victim{LineAddr: c.recs[vi].tag, State: State(c.recs[vi].useState)}
 	c.Stats.Evictions.Inc()
 	if v.State == Modified || v.State == Owned {
 		c.Stats.Writebacks.Inc()
 	}
-	c.fill(si, vi, lineAddr, st)
+	c.fill(si, vi-base, lineAddr, st)
 	return v, true
 }
 
 func (c *Cache) fill(si, way int, lineAddr uint64, st State) {
 	c.gen++
-	c.sets[si][way] = line{tag: lineAddr, state: st, lastUse: c.gen}
+	c.recs[si*c.ways+way] = wayRec{tag: lineAddr, useState: c.gen<<stateBits | uint64(st)}
+	c.hint[si] = uint16(way)
 	c.updatePLRU(si, way)
 }
 
 func (c *Cache) chooseVictim(si int) int {
 	switch c.cfg.Policy {
 	case Random:
-		return c.rnd.Intn(c.cfg.Ways)
+		return c.rnd.Intn(c.ways)
 	case TreePLRU:
 		return c.plruVictim(si)
 	default: // LRU
-		set := c.sets[si]
+		// Ordering the packed words is ordering the generation stamps:
+		// every stamp came from a unique gen++, so the state byte never
+		// decides a comparison.
+		base := si * c.ways
+		recs := c.recs[base : base+c.ways]
 		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lastUse < set[best].lastUse {
+		for i := 1; i < len(recs); i++ {
+			if recs[i].useState < recs[best].useState {
 				best = i
 			}
 		}
@@ -358,9 +416,10 @@ func (c *Cache) updatePLRU(si, way int) {
 	if c.cfg.Policy != TreePLRU {
 		return
 	}
-	nodes := c.plru[si]
+	base := si * 2 * c.ways
+	nodes := c.plru[base : base+2*c.ways]
 	node := 1
-	lo, hi := 0, c.cfg.Ways
+	lo, hi := 0, c.ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if way < mid {
@@ -377,9 +436,10 @@ func (c *Cache) updatePLRU(si, way int) {
 
 // plruVictim walks the tree following the victim pointers.
 func (c *Cache) plruVictim(si int) int {
-	nodes := c.plru[si]
+	base := si * 2 * c.ways
+	nodes := c.plru[base : base+2*c.ways]
 	node := 1
-	lo, hi := 0, c.cfg.Ways
+	lo, hi := 0, c.ways
 	for hi-lo > 1 {
 		mid := (lo + hi) / 2
 		if nodes[node] { // go right
@@ -396,24 +456,20 @@ func (c *Cache) plruVictim(si int) int {
 // Occupancy returns the number of valid lines, for diagnostics and tests.
 func (c *Cache) Occupancy() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].state != Invalid {
-				n++
-			}
+	for i := range c.recs {
+		if c.recs[i].tag != invalidTag {
+			n++
 		}
 	}
 	return n
 }
 
 // ForEachValid calls fn for every valid line (diagnostics / invariant
-// checking in tests).
+// checking in tests). Iteration order is set-major, way-minor.
 func (c *Cache) ForEachValid(fn func(lineAddr uint64, st State)) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].state != Invalid {
-				fn(set[i].tag, set[i].state)
-			}
+	for i := range c.recs {
+		if c.recs[i].tag != invalidTag {
+			fn(c.recs[i].tag, State(c.recs[i].useState))
 		}
 	}
 }
@@ -421,13 +477,11 @@ func (c *Cache) ForEachValid(fn func(lineAddr uint64, st State)) {
 // Flush invalidates every line, returning how many were dirty. Used when a
 // simulated workload is reset between epochs in tests.
 func (c *Cache) Flush() (dirty int) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].state == Modified || set[i].state == Owned {
-				dirty++
-			}
-			set[i].state = Invalid
+	for i := range c.recs {
+		if st := State(c.recs[i].useState); st == Modified || st == Owned {
+			dirty++
 		}
+		c.recs[i] = wayRec{tag: invalidTag}
 	}
 	return dirty
 }

@@ -20,6 +20,7 @@ package coherence
 
 import (
 	"fmt"
+	"slices"
 
 	"offloadsim/internal/cache"
 	"offloadsim/internal/interconnect"
@@ -59,15 +60,6 @@ const (
 	dirExclusive // E or M at the owner; the owner upgrades E->M silently
 	dirOwned     // MOESI: dirty at the owner, replicated among sharers
 )
-
-// dirEntry tracks one line. Entries are created lazily on first touch and
-// removed when the line returns to uncached, keeping the map proportional
-// to the aggregate cached footprint.
-type dirEntry struct {
-	state   dirState
-	owner   int
-	sharers uint64 // bitmask over nodes; used in dirShared
-}
 
 // Config assembles a coherent multi-node memory system.
 type Config struct {
@@ -141,10 +133,15 @@ type Stats struct {
 type System struct {
 	cfg     Config
 	l2s     []*cache.Cache
-	dir     map[uint64]*dirEntry
+	dir     *dirTable
 	fabric  *interconnect.Fabric
 	mem     *memory.Memory
 	l1Hooks [][]func(lineAddr uint64)
+
+	// scratch is CheckInvariants' reusable presence buffer, so repeated
+	// invariant sweeps (debug builds, tests, epoch checks) allocate
+	// nothing in steady state.
+	scratch []presenceRec
 
 	Stats Stats
 }
@@ -156,8 +153,11 @@ func New(cfg Config, rnd *rng.Source) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:     cfg,
-		dir:     make(map[uint64]*dirEntry),
+		cfg: cfg,
+		// The directory tracks at most the aggregate cached line count,
+		// so size the table to the combined L2 capacity up front and it
+		// never grows in steady state.
+		dir:     newDirTable(cfg.NumNodes * cfg.L2.SizeBytes / cfg.L2.LineBytes),
 		fabric:  interconnect.New(cfg.Fabric),
 		mem:     memory.New(cfg.Memory),
 		l1Hooks: make([][]func(uint64), cfg.NumNodes),
@@ -227,17 +227,12 @@ func (s *System) LineAddr(addr uint64) uint64 {
 }
 
 func (s *System) entry(lineAddr uint64) *dirEntry {
-	e := s.dir[lineAddr]
-	if e == nil {
-		e = &dirEntry{state: dirUncached}
-		s.dir[lineAddr] = e
-	}
-	return e
+	return s.dir.getOrCreate(lineAddr)
 }
 
-func (s *System) dropIfUncached(lineAddr uint64, e *dirEntry) {
+func (s *System) dropIfUncached(e *dirEntry) {
 	if e.state == dirUncached || (e.state == dirShared && e.sharers == 0) {
-		delete(s.dir, lineAddr)
+		s.dir.del(e)
 	}
 }
 
@@ -245,7 +240,7 @@ func (s *System) dropIfUncached(lineAddr uint64, e *dirEntry) {
 // posted writeback for dirty victims, and L1 back-invalidation to preserve
 // inclusion.
 func (s *System) handleVictim(node int, v cache.Victim) {
-	e := s.dir[v.LineAddr]
+	e := s.dir.get(v.LineAddr)
 	if e != nil {
 		switch e.state {
 		case dirShared:
@@ -254,12 +249,12 @@ func (s *System) handleVictim(node int, v cache.Victim) {
 				e.state = dirUncached
 			}
 		case dirExclusive:
-			if e.owner == node {
+			if int(e.owner) == node {
 				e.state = dirUncached
 			}
 		case dirOwned:
 			e.sharers &^= 1 << uint(node)
-			if node == e.owner {
+			if node == int(e.owner) {
 				// The dirty owner leaves: its writeback cleans memory,
 				// and the remaining copies (if any) are plain Shared.
 				if e.sharers == 0 {
@@ -271,7 +266,7 @@ func (s *System) handleVictim(node int, v cache.Victim) {
 			// A departing non-owner sharer leaves the owner (still
 			// dirty) in place; the entry stays dirOwned.
 		}
-		s.dropIfUncached(v.LineAddr, e)
+		s.dropIfUncached(e)
 	}
 	if v.State == cache.Modified || v.State == cache.Owned {
 		s.mem.Writeback()
@@ -284,9 +279,10 @@ func (s *System) handleVictim(node int, v cache.Victim) {
 func (s *System) Read(node int, lineAddr uint64) (latency int, hit bool) {
 	l2 := s.l2s[node]
 	l2.Stats.Accesses.Inc()
-	if st := l2.Lookup(lineAddr); st != cache.Invalid {
+	// Probe = lookup + recency touch in one way scan; every present line
+	// is a read hit.
+	if st := l2.Probe(lineAddr); st != cache.Invalid {
 		l2.Stats.Hits.Inc()
-		l2.Touch(lineAddr)
 		return l2.Config().HitLatency, true
 	}
 	l2.Stats.Misses.Inc()
@@ -306,7 +302,7 @@ func (s *System) Read(node int, lineAddr uint64) (latency int, hit bool) {
 		lat += s.fabric.Send(interconnect.DataMsg, 1)
 		fill = cache.Exclusive
 		e.state = dirExclusive
-		e.owner = node
+		e.owner = int16(node)
 		e.sharers = 0
 
 	case dirShared:
@@ -320,7 +316,7 @@ func (s *System) Read(node int, lineAddr uint64) (latency int, hit bool) {
 
 	case dirExclusive:
 		// Forward to the owner, which supplies the line cache-to-cache.
-		owner := e.owner
+		owner := int(e.owner)
 		lat += s.fabric.Send(interconnect.FwdMsg, 1)
 		lat += s.l2s[owner].Config().HitLatency
 		ost := s.l2s[owner].Lookup(lineAddr)
@@ -338,7 +334,7 @@ func (s *System) Read(node int, lineAddr uint64) (latency int, hit bool) {
 				// remains responsible for it — no memory writeback.
 				s.l2s[owner].SetState(lineAddr, cache.Owned)
 				e.state = dirOwned
-				e.owner = owner
+				e.owner = int16(owner)
 				e.sharers = (1 << uint(owner)) | (1 << uint(node))
 				break
 			}
@@ -352,7 +348,7 @@ func (s *System) Read(node int, lineAddr uint64) (latency int, hit bool) {
 	case dirOwned:
 		// MOESI: the owner supplies the dirty line; the requester joins
 		// the sharer set.
-		owner := e.owner
+		owner := int(e.owner)
 		lat += s.fabric.Send(interconnect.FwdMsg, 1)
 		lat += s.l2s[owner].Config().HitLatency
 		if s.l2s[owner].Lookup(lineAddr) != cache.Owned {
@@ -378,15 +374,15 @@ func (s *System) Read(node int, lineAddr uint64) (latency int, hit bool) {
 func (s *System) Write(node int, lineAddr uint64) (latency int, hit bool) {
 	l2 := s.l2s[node]
 	l2.Stats.Accesses.Inc()
-	switch l2.Lookup(lineAddr) {
+	// Probe touches any present line up front (single way scan); each
+	// switch arm below previously performed the same touch itself.
+	switch l2.Probe(lineAddr) {
 	case cache.Modified:
 		l2.Stats.Hits.Inc()
-		l2.Touch(lineAddr)
 		return l2.Config().HitLatency, true
 	case cache.Exclusive:
 		// Silent E->M upgrade; the directory already records exclusivity.
 		l2.Stats.Hits.Inc()
-		l2.Touch(lineAddr)
 		l2.SetState(lineAddr, cache.Modified)
 		return l2.Config().HitLatency, true
 	case cache.Shared:
@@ -402,9 +398,8 @@ func (s *System) Write(node int, lineAddr uint64) (latency int, hit bool) {
 		e := s.entry(lineAddr)
 		lat += s.invalidateSharers(e, node, lineAddr)
 		e.state = dirExclusive
-		e.owner = node
+		e.owner = int16(node)
 		e.sharers = 0
-		l2.Touch(lineAddr)
 		l2.SetState(lineAddr, cache.Modified)
 		return lat, false
 	case cache.Owned:
@@ -419,9 +414,8 @@ func (s *System) Write(node int, lineAddr uint64) (latency int, hit bool) {
 		e := s.entry(lineAddr)
 		lat += s.invalidateSharers(e, node, lineAddr)
 		e.state = dirExclusive
-		e.owner = node
+		e.owner = int16(node)
 		e.sharers = 0
-		l2.Touch(lineAddr)
 		l2.SetState(lineAddr, cache.Modified)
 		return lat, false
 	}
@@ -450,7 +444,7 @@ func (s *System) Write(node int, lineAddr uint64) (latency int, hit bool) {
 	case dirExclusive:
 		// Transfer ownership: the current owner invalidates its copy and
 		// forwards the (possibly dirty) line.
-		owner := e.owner
+		owner := int(e.owner)
 		lat += s.fabric.Send(interconnect.FwdMsg, 1)
 		lat += s.l2s[owner].Config().HitLatency
 		ost := s.l2s[owner].Lookup(lineAddr)
@@ -470,7 +464,7 @@ func (s *System) Write(node int, lineAddr uint64) (latency int, hit bool) {
 	case dirOwned:
 		// MOESI write miss: the owner forwards its dirty line and every
 		// holder invalidates; dirty ownership moves to the writer.
-		owner := e.owner
+		owner := int(e.owner)
 		lat += s.fabric.Send(interconnect.FwdMsg, 1)
 		lat += s.l2s[owner].Config().HitLatency
 		if s.l2s[owner].Lookup(lineAddr) != cache.Owned {
@@ -483,7 +477,7 @@ func (s *System) Write(node int, lineAddr uint64) (latency int, hit bool) {
 		s.Stats.CoherenceMisses.Inc()
 	}
 	e.state = dirExclusive
-	e.owner = node
+	e.owner = int16(node)
 	e.sharers = 0
 
 	if v, evicted := l2.Allocate(lineAddr, cache.Modified); evicted {
@@ -516,98 +510,151 @@ func (s *System) invalidateSharers(e *dirEntry, requester int, lineAddr uint64) 
 	return lat
 }
 
+// presenceRec is one (line, node, state) observation gathered from the
+// cache arrays by CheckInvariants.
+type presenceRec struct {
+	la   uint64
+	node int
+	st   cache.State
+}
+
 // CheckInvariants validates the protocol's global invariants against the
 // actual cache contents. It is O(cached lines) and intended for tests and
 // debug builds; it returns an error describing the first violation found.
+//
+// The per-line presence view is gathered into a reusable sorted scratch
+// slice rather than a freshly built map, so repeated sweeps are
+// allocation-free in steady state.
 func (s *System) CheckInvariants() error {
-	// Gather per-line presence from the caches.
-	type presence struct {
-		nodes  []int
-		states []cache.State
-	}
-	lines := map[uint64]*presence{}
+	s.scratch = s.scratch[:0]
 	for n, l2 := range s.l2s {
 		n := n
 		l2.ForEachValid(func(la uint64, st cache.State) {
-			p := lines[la]
-			if p == nil {
-				p = &presence{}
-				lines[la] = p
-			}
-			p.nodes = append(p.nodes, n)
-			p.states = append(p.states, st)
+			s.scratch = append(s.scratch, presenceRec{la: la, node: n, st: st})
 		})
 	}
-	for la, p := range lines {
-		mCount, eCount, oCount := 0, 0, 0
-		for _, st := range p.states {
-			switch st {
-			case cache.Modified:
-				mCount++
-			case cache.Exclusive:
-				eCount++
-			case cache.Owned:
-				oCount++
-			}
+	sortPresence(s.scratch)
+	// Walk runs of equal line address; nodes within a run are already in
+	// ascending order because each cache was scanned in node order.
+	for i := 0; i < len(s.scratch); {
+		j := i + 1
+		for j < len(s.scratch) && s.scratch[j].la == s.scratch[i].la {
+			j++
 		}
-		if mCount+eCount > 1 || (mCount+eCount == 1 && len(p.nodes) > 1) {
-			return fmt.Errorf("line %#x: exclusive/modified copy coexists with others (%v)", la, p.states)
+		if err := s.checkLine(s.scratch[i].la, s.scratch[i:j]); err != nil {
+			return err
 		}
-		if oCount > 1 || (oCount == 1 && mCount+eCount > 0) {
-			return fmt.Errorf("line %#x: invalid Owned combination (%v)", la, p.states)
-		}
-		if oCount == 1 && s.cfg.Protocol != MOESI {
-			return fmt.Errorf("line %#x: Owned state under MESI", la)
-		}
-		e := s.dir[la]
-		if e == nil {
-			return fmt.Errorf("line %#x cached at %v but unknown to directory", la, p.nodes)
-		}
-		switch e.state {
-		case dirExclusive:
-			if len(p.nodes) != 1 || p.nodes[0] != e.owner {
-				return fmt.Errorf("line %#x: directory says exclusive@%d, caches say %v", la, e.owner, p.nodes)
-			}
-		case dirShared:
-			for _, n := range p.nodes {
-				if e.sharers&(1<<uint(n)) == 0 {
-					return fmt.Errorf("line %#x: node %d holds line but is not a recorded sharer", la, n)
-				}
-			}
-		case dirOwned:
-			if s.l2s[e.owner].Lookup(la) != cache.Owned {
-				return fmt.Errorf("line %#x: directory says owned@%d but that cache holds %v",
-					la, e.owner, s.l2s[e.owner].Lookup(la))
-			}
-			for _, n := range p.nodes {
-				if e.sharers&(1<<uint(n)) == 0 {
-					return fmt.Errorf("line %#x: node %d holds owned line but is not recorded", la, n)
-				}
-			}
-		case dirUncached:
-			return fmt.Errorf("line %#x: directory says uncached but cached at %v", la, p.nodes)
-		}
+		i = j
 	}
 	// Directory must not claim presence the caches lack.
-	for la, e := range s.dir {
+	var dirErr error
+	s.dir.forEach(func(e *dirEntry) bool {
+		la := e.key
 		switch e.state {
 		case dirExclusive:
 			if s.l2s[e.owner].Lookup(la) == cache.Invalid {
-				return fmt.Errorf("line %#x: directory owner %d has no copy", la, e.owner)
+				dirErr = fmt.Errorf("line %#x: directory owner %d has no copy", la, e.owner)
+				return false
 			}
 		case dirShared, dirOwned:
 			for n := 0; n < s.cfg.NumNodes; n++ {
 				if e.sharers&(1<<uint(n)) != 0 && s.l2s[n].Lookup(la) == cache.Invalid {
-					return fmt.Errorf("line %#x: recorded sharer %d has no copy", la, n)
+					dirErr = fmt.Errorf("line %#x: recorded sharer %d has no copy", la, n)
+					return false
 				}
 			}
 		}
+		return true
+	})
+	return dirErr
+}
+
+// sortPresence orders records by (line, node) in place, without
+// allocating.
+func sortPresence(recs []presenceRec) {
+	slices.SortFunc(recs, func(a, b presenceRec) int {
+		if a.la != b.la {
+			if a.la < b.la {
+				return -1
+			}
+			return 1
+		}
+		return a.node - b.node
+	})
+}
+
+// checkLine validates one line's cached copies (run) against each other
+// and the directory. Error paths may allocate; the clean path does not.
+func (s *System) checkLine(la uint64, run []presenceRec) error {
+	mCount, eCount, oCount := 0, 0, 0
+	for _, r := range run {
+		switch r.st {
+		case cache.Modified:
+			mCount++
+		case cache.Exclusive:
+			eCount++
+		case cache.Owned:
+			oCount++
+		}
+	}
+	if mCount+eCount > 1 || (mCount+eCount == 1 && len(run) > 1) {
+		return fmt.Errorf("line %#x: exclusive/modified copy coexists with others (%v)", la, runStates(run))
+	}
+	if oCount > 1 || (oCount == 1 && mCount+eCount > 0) {
+		return fmt.Errorf("line %#x: invalid Owned combination (%v)", la, runStates(run))
+	}
+	if oCount == 1 && s.cfg.Protocol != MOESI {
+		return fmt.Errorf("line %#x: Owned state under MESI", la)
+	}
+	e := s.dir.get(la)
+	if e == nil {
+		return fmt.Errorf("line %#x cached at %v but unknown to directory", la, runNodes(run))
+	}
+	switch e.state {
+	case dirExclusive:
+		if len(run) != 1 || run[0].node != int(e.owner) {
+			return fmt.Errorf("line %#x: directory says exclusive@%d, caches say %v", la, e.owner, runNodes(run))
+		}
+	case dirShared:
+		for _, r := range run {
+			if e.sharers&(1<<uint(r.node)) == 0 {
+				return fmt.Errorf("line %#x: node %d holds line but is not a recorded sharer", la, r.node)
+			}
+		}
+	case dirOwned:
+		if s.l2s[e.owner].Lookup(la) != cache.Owned {
+			return fmt.Errorf("line %#x: directory says owned@%d but that cache holds %v",
+				la, e.owner, s.l2s[e.owner].Lookup(la))
+		}
+		for _, r := range run {
+			if e.sharers&(1<<uint(r.node)) == 0 {
+				return fmt.Errorf("line %#x: node %d holds owned line but is not recorded", la, r.node)
+			}
+		}
+	case dirUncached:
+		return fmt.Errorf("line %#x: directory says uncached but cached at %v", la, runNodes(run))
 	}
 	return nil
 }
 
+func runStates(run []presenceRec) []cache.State {
+	states := make([]cache.State, len(run))
+	for i, r := range run {
+		states[i] = r.st
+	}
+	return states
+}
+
+func runNodes(run []presenceRec) []int {
+	nodes := make([]int, len(run))
+	for i, r := range run {
+		nodes[i] = r.node
+	}
+	return nodes
+}
+
 // DirectorySize returns the number of tracked lines (diagnostics).
-func (s *System) DirectorySize() int { return len(s.dir) }
+func (s *System) DirectorySize() int { return s.dir.len() }
 
 // ResetStats clears protocol, fabric, memory and per-L2 counters while
 // preserving cache contents — used at epoch boundaries.

@@ -1,0 +1,170 @@
+package coherence
+
+import "math/bits"
+
+// dirEntry tracks one line, stored inline in the directory table's slot
+// array. Entries are created lazily on first touch and removed when the
+// line returns to uncached, keeping the table proportional to the
+// aggregate cached footprint.
+// The layout is deliberately 24 bytes: owner fits int16 (NumNodes <= 64),
+// so slots pack 25% denser than with a machine-word owner, and directory
+// probes — uniformly distributed over a multi-megabyte table — pull
+// proportionally fewer bytes through the memory hierarchy.
+type dirEntry struct {
+	key     uint64 // line address; valid when meta == slotFull
+	sharers uint64 // bitmask over nodes; used in dirShared/dirOwned
+	owner   int16
+	state   dirState
+	meta    uint8
+}
+
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotDead // tombstone: deleted, but probe chains pass through
+)
+
+// dirTable is an open-addressed hash table with inline entries, replacing
+// the previous map[uint64]*dirEntry. The map cost the detailed hot path
+// one heap allocation per first-touched line (two thirds of all
+// steady-state allocations) plus hashing and bucket-chasing on every
+// directory transaction; here a lookup is a multiply, a shift and a short
+// linear probe over contiguous slots.
+//
+// Deletion uses tombstones, so entry pointers stay valid across deletes.
+// Pointers are only invalidated by a rehash, which getOrCreate alone can
+// trigger; callers never hold an entry across an insert.
+type dirTable struct {
+	slots []dirEntry
+	mask  uint64
+	shift uint // 64 - log2(len(slots)), for Fibonacci hashing
+	live  int
+	dead  int
+}
+
+// fibMult is 2^64 / phi, the multiplicative hashing constant.
+const fibMult = 0x9E3779B97F4A7C15
+
+// newDirTable sizes the table for capHint simultaneously-tracked lines.
+// The directory only tracks cached lines, so the natural hint is the
+// aggregate L2 capacity; doubling it keeps the steady-state load factor
+// at most one half, with tombstone pressure handled by same-size rehash.
+func newDirTable(capHint int) *dirTable {
+	if capHint < 16 {
+		capHint = 16
+	}
+	size := 1 << uint(bits.Len(uint(capHint*2-1)))
+	return &dirTable{
+		slots: make([]dirEntry, size),
+		mask:  uint64(size - 1),
+		shift: uint(64 - bits.Len(uint(size-1))),
+	}
+}
+
+func (t *dirTable) hash(key uint64) uint64 {
+	return (key * fibMult) >> t.shift
+}
+
+// get returns the entry for key, or nil if the line is untracked.
+func (t *dirTable) get(key uint64) *dirEntry {
+	i := t.hash(key)
+	for {
+		s := &t.slots[i]
+		switch s.meta {
+		case slotEmpty:
+			return nil
+		case slotFull:
+			if s.key == key {
+				return s
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// getOrCreate returns the entry for key, creating it in dirUncached with
+// no owner or sharers when absent. The returned pointer is valid until
+// the next getOrCreate (which may rehash).
+func (t *dirTable) getOrCreate(key uint64) *dirEntry {
+	// Fast path: the entry already lives in its home slot — no resize
+	// check, no tombstone bookkeeping. At the table's bounded load factor
+	// this covers the overwhelming share of directory transactions.
+	i := t.hash(key)
+	if s := &t.slots[i]; s.meta == slotFull && s.key == key {
+		return s
+	}
+	if (t.live+t.dead+1)*4 > len(t.slots)*3 {
+		t.rehash()
+		i = t.hash(key)
+	}
+	var grave *dirEntry
+	for {
+		s := &t.slots[i]
+		switch s.meta {
+		case slotEmpty:
+			if grave != nil {
+				s = grave
+				t.dead--
+			}
+			*s = dirEntry{key: key, state: dirUncached, meta: slotFull}
+			t.live++
+			return s
+		case slotFull:
+			if s.key == key {
+				return s
+			}
+		case slotDead:
+			if grave == nil {
+				grave = s
+			}
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// del removes an entry returned by get/getOrCreate. Tombstone-only: no
+// slot moves, so other outstanding entry pointers stay valid.
+func (t *dirTable) del(e *dirEntry) {
+	e.meta = slotDead
+	t.live--
+	t.dead++
+}
+
+// rehash rebuilds the table without tombstones, growing only when the
+// live population actually needs it. With the table pre-sized to the
+// aggregate cache capacity this runs rarely, purely to recycle
+// tombstones left by eviction churn.
+func (t *dirTable) rehash() {
+	size := len(t.slots)
+	for t.live*4 > size*3/2 {
+		size *= 2
+	}
+	old := t.slots
+	t.slots = make([]dirEntry, size)
+	t.mask = uint64(size - 1)
+	t.shift = uint(64 - bits.Len(uint(size-1)))
+	t.dead = 0
+	for oi := range old {
+		if old[oi].meta != slotFull {
+			continue
+		}
+		i := t.hash(old[oi].key)
+		for t.slots[i].meta == slotFull {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = old[oi]
+	}
+}
+
+// len returns the number of tracked lines.
+func (t *dirTable) len() int { return t.live }
+
+// forEach visits every tracked entry until fn returns false. Iteration
+// order is slot order: deterministic for a given insert/delete history.
+func (t *dirTable) forEach(fn func(e *dirEntry) bool) {
+	for i := range t.slots {
+		if t.slots[i].meta == slotFull && !fn(&t.slots[i]) {
+			return
+		}
+	}
+}

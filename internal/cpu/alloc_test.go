@@ -1,0 +1,25 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"offloadsim/internal/enginebench"
+)
+
+// TestCoreStepZeroAllocs pins the steady-state allocation count of the
+// detailed step loop at exactly zero. The hot path went through three
+// rounds of de-allocation (pooled trace segments, the inline-entry
+// directory table, the reusable reference buffer); this test is the
+// regression fence that keeps per-instruction heap traffic from
+// creeping back in behind a benchmark nobody re-reads.
+func TestCoreStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	if testing.Short() {
+		t.Skip("fixture warmup is not short")
+	}
+	if allocs := enginebench.CoreStepAllocs(100); allocs != 0 {
+		t.Fatalf("detailed segment step allocates %v objects/op in steady state, want 0", allocs)
+	}
+}

@@ -94,6 +94,14 @@ type Core struct {
 	memAcc float64 // fractional data-reference accumulator
 	ifCnt  int     // instructions since last I-line fetch
 
+	// refBuf is the detailed loop's reference staging buffer: RunSegment
+	// drains each chunk of the segment's reference stream into it before
+	// replaying the references through the memory hierarchy. Generating
+	// and simulating in separate passes keeps the trace tables and the
+	// tag/directory arrays from evicting each other every few
+	// instructions. Allocated once; reused for every chunk.
+	refBuf []uint64
+
 	// Functional-warming state (interval sampling): while warming, the
 	// core issues 1 of every warmStride references in bulk — enough to
 	// keep cache and directory state alive — and estimates cycles
@@ -191,17 +199,42 @@ func (c *Core) L1I() *cache.Cache { return c.l1i }
 // L1D exposes the data cache (stats/tests).
 func (c *Core) L1D() *cache.Cache { return c.l1d }
 
+// refChunkInstrs is the instruction span drained per draw/replay round
+// of the detailed loop. Large enough that each pass amortises warming
+// its working set into the host caches, small enough that the staged
+// references (at most 2 per instruction) stay cache-resident.
+const refChunkInstrs = 8192
+
+// Reference kinds packed into the low two bits of a staged reference;
+// the line address occupies the rest (line addresses are byte addresses
+// shifted right by at least 6, so bits 62-63 are free).
+const (
+	refIF    = 0
+	refRead  = 1
+	refWrite = 2
+)
+
 // access runs one reference through an L1 array and, on a miss, the
 // coherent L2 system. The returned cycles are the *stall* contribution: an
 // L1 hit costs zero extra (its 1-cycle latency is the base CPI).
 func (c *Core) access(l1 *cache.Cache, lineAddr uint64, write bool) int {
 	l1.Stats.Accesses.Inc()
-	st := l1.Lookup(lineAddr)
+	// Probe = lookup + recency touch in one way scan. A present line is
+	// touched even when the access continues as a write-upgrade miss:
+	// the line is being used either way, and Allocate refreshes it again
+	// on fill.
+	st := l1.Probe(lineAddr)
 	if st != cache.Invalid && (!write || st == cache.Modified) {
 		l1.Stats.Hits.Inc()
-		l1.Touch(lineAddr)
 		return 0
 	}
+	return c.missRef(l1, lineAddr, write)
+}
+
+// missRef completes an L1-missing reference through the coherent L2
+// system and refills the L1. Split from access so RunSegment's replay
+// loop can issue the hit path without a second call frame.
+func (c *Core) missRef(l1 *cache.Cache, lineAddr uint64, write bool) int {
 	l1.Stats.Misses.Inc()
 	var lat int
 	if write {
@@ -303,19 +336,101 @@ func (c *Core) RunSegment(seg *trace.Segment) uint64 {
 	}
 	cycles := uint64(seg.Instrs)
 	stall := uint64(0)
-	for i := 0; i < seg.Instrs; i++ {
-		c.ifCnt++
-		if c.ifCnt >= c.cfg.IFetchInterval {
-			c.ifCnt = 0
-			stall += uint64(c.access(c.l1i, seg.NextIFetch(), false))
+	// Hot loop, fissioned into a draw pass and a replay pass per chunk.
+	// The draw pass walks the instruction stream exactly as a fused loop
+	// would — same counters, same float accumulator (repeated addition is
+	// not associative, so it must not be batched into a multiply), same
+	// interleaving of I-fetch and data draws from the segment's stream —
+	// but only records the references. The replay pass then issues them
+	// through the hierarchy in that recorded order, so every cache,
+	// directory and counter sees the identical access sequence. The split
+	// exists purely for locality: drawing touches the workload's Zipf
+	// guide/cdf tables, replaying touches the tag and directory arrays,
+	// and interleaving the two per-instruction made each evict the other.
+	ifCnt, memAcc := c.ifCnt, c.memAcc
+	interval, ratio := c.cfg.IFetchInterval, seg.MemRatio
+	if c.refBuf == nil {
+		c.refBuf = make([]uint64, 0, refChunkInstrs+refChunkInstrs/interval+2)
+	}
+	for done := 0; done < seg.Instrs; {
+		chunk := seg.Instrs - done
+		if chunk > refChunkInstrs {
+			chunk = refChunkInstrs
 		}
-		c.memAcc += seg.MemRatio
-		if c.memAcc >= 1 {
-			c.memAcc--
-			la, wr := seg.NextData()
-			stall += uint64(c.access(c.l1d, la, wr))
+		done += chunk
+		buf := c.refBuf[:0]
+		// Stride by I-fetch periods instead of testing the fetch counter
+		// every instruction: a run covers the instructions up to and
+		// including the next fetch (or the end of the chunk), the fetch
+		// fires on the run's last instruction before that instruction's
+		// data-reference check — exactly where the per-instruction
+		// counter would have fired it.
+		for i := 0; i < chunk; {
+			run := interval - ifCnt
+			if run < 1 {
+				run = 1 // a counter carried at/past the interval fires immediately
+			}
+			fetch := true
+			if run > chunk-i {
+				run = chunk - i
+				ifCnt += run
+				fetch = false
+			} else {
+				ifCnt = 0
+			}
+			i += run
+			if fetch {
+				run--
+			}
+			for j := 0; j < run; j++ {
+				memAcc += ratio
+				if memAcc >= 1 {
+					memAcc--
+					la, wr := seg.NextData()
+					op := uint64(refRead)
+					if wr {
+						op = refWrite
+					}
+					buf = append(buf, la<<2|op)
+				}
+			}
+			if fetch {
+				buf = append(buf, seg.NextIFetch()<<2|refIF)
+				memAcc += ratio
+				if memAcc >= 1 {
+					memAcc--
+					la, wr := seg.NextData()
+					op := uint64(refRead)
+					if wr {
+						op = refWrite
+					}
+					buf = append(buf, la<<2|op)
+				}
+			}
+		}
+		c.refBuf = buf
+		// Replay with the L1-hit path open-coded: hits are the common
+		// case and this saves them the access() call frame. The access
+		// sequence and every counter update match access() exactly.
+		for _, r := range buf {
+			la := r >> 2
+			l1, write := c.l1d, false
+			switch r & 3 {
+			case refIF:
+				l1 = c.l1i
+			case refWrite:
+				write = true
+			}
+			l1.Stats.Accesses.Inc()
+			st := l1.Probe(la)
+			if st != cache.Invalid && (!write || st == cache.Modified) {
+				l1.Stats.Hits.Inc()
+				continue
+			}
+			stall += uint64(c.missRef(l1, la, write))
 		}
 	}
+	c.ifCnt, c.memAcc = ifCnt, memAcc
 	cycles += stall
 
 	if seg.IsOS() {

@@ -1,0 +1,83 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEvaluateEdgeTable pins the clamping and accounting rules for the
+// degenerate activity shapes epoch-based runs produce: idle counts that
+// overshoot the elapsed window (the model clamps instead of going
+// negative), OS-core busy time past the epoch end, configurations with
+// no OS core at all, and migration-free runs.
+func TestEvaluateEdgeTable(t *testing.T) {
+	// 1 GHz and power levels chosen so expected joules are exact decimals.
+	m := Model{ClockGHz: 1, UserActiveW: 10, UserIdleW: 1, OSActiveW: 4, OSIdleW: 0.5, MigrationNJ: 50}
+	const cyc = 1_000_000_000 // 1 second at 1 GHz
+
+	cases := []struct {
+		name       string
+		a          Activity
+		wantJoules float64
+	}{
+		{
+			// Idle beyond the window clamps to the window: all idle, not
+			// negative active time.
+			name:       "idle epoch overshoot clamps",
+			a:          Activity{ElapsedCycles: cyc, UserCores: 1, UserIdleCycles: 3 * cyc},
+			wantJoules: 1,
+		},
+		{
+			name:       "fully idle epoch",
+			a:          Activity{ElapsedCycles: cyc, UserCores: 1, UserIdleCycles: cyc},
+			wantJoules: 1,
+		},
+		{
+			// Without an OS core, OS fields must contribute nothing even
+			// if a buggy caller fills them in.
+			name:       "no OS core ignores OS cycles",
+			a:          Activity{ElapsedCycles: cyc, UserCores: 1, OSBusyCycles: cyc},
+			wantJoules: 10,
+		},
+		{
+			// An idle OS core still burns its idle power for the window.
+			name:       "present idle OS core",
+			a:          Activity{ElapsedCycles: cyc, UserCores: 1, HasOSCore: true},
+			wantJoules: 10.5,
+		},
+		{
+			// OS busy time past the epoch end clamps to the epoch.
+			name:       "OS busy overshoot clamps",
+			a:          Activity{ElapsedCycles: cyc, UserCores: 1, HasOSCore: true, OSBusyCycles: 5 * cyc},
+			wantJoules: 14,
+		},
+		{
+			name:       "zero migrations add nothing",
+			a:          Activity{ElapsedCycles: cyc, UserCores: 2, Migrations: 0},
+			wantJoules: 20,
+		},
+		{
+			// Each migration charges two one-way transfers: 1e6 * 2 * 50 nJ = 0.1 J.
+			name:       "migration energy is two one-ways each",
+			a:          Activity{ElapsedCycles: cyc, UserCores: 2, Migrations: 1_000_000},
+			wantJoules: 20.1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := m.Evaluate(tc.a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(r.Joules-tc.wantJoules) > 1e-9 {
+				t.Fatalf("Joules = %v, want %v", r.Joules, tc.wantJoules)
+			}
+			if math.Abs(r.EDP-r.Joules*r.Seconds) > 1e-9 {
+				t.Fatalf("EDP %v inconsistent with J*s = %v", r.EDP, r.Joules*r.Seconds)
+			}
+			if math.Abs(r.AvgWatts-r.Joules/r.Seconds) > 1e-9 {
+				t.Fatalf("AvgWatts %v inconsistent with J/s", r.AvgWatts)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package interconnect
+
+import "testing"
+
+// TestSendLatencyTable pins the latency composition across the edge
+// cases the coherence protocol actually produces: zero and negative hop
+// counts (clamped to one link — a message always traverses the fabric,
+// even to a co-located endpoint), multi-hop invalidation rounds, and
+// degenerate zero-latency fabrics.
+func TestSendLatencyTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		kind    MessageKind
+		hops    int
+		wantLat int
+	}{
+		{"one-hop request", Config{LinkLatency: 4, RouterLatency: 1}, ReqMsg, 1, 5},
+		{"zero hops clamps to one", Config{LinkLatency: 4, RouterLatency: 1}, ReqMsg, 0, 5},
+		{"negative hops clamps to one", Config{LinkLatency: 4, RouterLatency: 1}, FwdMsg, -3, 5},
+		{"self-transfer still pays a link", Config{LinkLatency: 7, RouterLatency: 2}, DataMsg, 0, 9},
+		{"invalidation round trip hops", Config{LinkLatency: 4, RouterLatency: 1}, InvMsg, 3, 13},
+		{"free links, router only", Config{LinkLatency: 0, RouterLatency: 5}, AckMsg, 4, 5},
+		{"entirely free fabric", Config{}, DataMsg, 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := New(tc.cfg)
+			if lat := f.Send(tc.kind, tc.hops); lat != tc.wantLat {
+				t.Fatalf("Send(%v, %d) = %d cycles, want %d", tc.kind, tc.hops, lat, tc.wantLat)
+			}
+			if got := f.Messages(tc.kind); got != 1 {
+				t.Fatalf("message count for %v = %d, want 1", tc.kind, got)
+			}
+			if got := f.TotalCycles(); got != uint64(tc.wantLat) {
+				t.Fatalf("TotalCycles = %d, want %d", got, tc.wantLat)
+			}
+		})
+	}
+}
+
+// TestAccountingPerKindIsolated checks that each kind's counter is
+// independent: traffic of one kind never leaks into another's count and
+// the total is the exact sum.
+func TestAccountingPerKindIsolated(t *testing.T) {
+	f := New(DefaultConfig())
+	sends := map[MessageKind]int{ReqMsg: 3, FwdMsg: 1, DataMsg: 4, InvMsg: 2, AckMsg: 5}
+	total := 0
+	for k, n := range sends {
+		for i := 0; i < n; i++ {
+			f.Send(k, 1)
+		}
+		total += n
+	}
+	for k, n := range sends {
+		if got := f.Messages(k); got != uint64(n) {
+			t.Fatalf("Messages(%v) = %d, want %d", k, got, n)
+		}
+	}
+	if got := f.TotalMessages(); got != uint64(total) {
+		t.Fatalf("TotalMessages = %d, want %d", got, total)
+	}
+}

@@ -1,0 +1,46 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePolicy drives Parse with arbitrary strings. Beyond "never
+// panic", it pins the invariants the CLI and daemon rely on: the result
+// is always one of the declared kinds, parsing is insensitive to case
+// and surrounding whitespace, and every accepted kind's String() form
+// parses back to itself.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"baseline", "none", "SI", "static", "DI", "dynamic",
+		"HI", "hardware", "oracle", "  Oracle \t", "bogus", "",
+		"Kind(3)", "hi ", "\nNONE\n", "óracle", "si\x00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		k, ok := Parse(s)
+		if !ok {
+			if k != 0 {
+				t.Fatalf("Parse(%q) = (%v, false): rejected input must return the zero Kind", s, k)
+			}
+			return
+		}
+		switch k {
+		case Baseline, StaticInstrumentation, DynamicInstrumentation, HardwarePredictor, Oracle:
+		default:
+			t.Fatalf("Parse(%q) accepted unknown kind %d", s, int(k))
+		}
+		// Case and whitespace insensitivity.
+		if k2, ok2 := Parse(strings.ToUpper(s)); !ok2 || k2 != k {
+			t.Fatalf("Parse(%q) = %v but upper-cased = (%v, %v)", s, k, k2, ok2)
+		}
+		if k2, ok2 := Parse(" " + s + "\t"); !ok2 || k2 != k {
+			t.Fatalf("Parse(%q) = %v but padded = (%v, %v)", s, k, k2, ok2)
+		}
+		// The canonical name round-trips.
+		if k2, ok2 := Parse(k.String()); !ok2 || k2 != k {
+			t.Fatalf("Parse(%v.String()) = (%v, %v), want (%v, true)", k, k2, ok2, k)
+		}
+	})
+}

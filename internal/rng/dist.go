@@ -3,8 +3,23 @@ package rng
 import (
 	"fmt"
 	"math"
-	"sort"
 )
+
+// lowerBound returns the smallest index i with cdf[i] >= u — the same
+// contract as sort.SearchFloat64s, hand-rolled so the comparison is not
+// behind a closure call on the simulator's hottest path.
+func lowerBound(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
 
 // Zipf draws ranks in [0, n) following a Zipf distribution with exponent s.
 // Low ranks are the most popular. It is used to model hot-set locality in
@@ -14,6 +29,13 @@ import (
 type Zipf struct {
 	src *Source
 	cdf []float64 // cumulative probability per rank
+	// guide is an equi-probability bucket index over cdf: guide[k] is the
+	// smallest rank i with cdf[i] >= k/T where T = len(guide)-1. A draw
+	// only binary-searches within one bucket, which makes the expected
+	// search cost O(1) instead of O(log n) full-array probes. The result
+	// is index-identical to a lower-bound search over the whole cdf.
+	guide   []int32
+	buckets float64 // float64(len(guide) - 1)
 }
 
 // NewZipf constructs a Zipf sampler over n ranks with exponent s (> 0).
@@ -35,7 +57,42 @@ func NewZipf(src *Source, n int, s float64) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{src: src, cdf: cdf}
+	return &Zipf{src: src, cdf: cdf, guide: buildGuide(cdf), buckets: guideBuckets(cdf)}
+}
+
+// guideBuckets picks the bucket count for a cdf: four buckets per rank,
+// so most buckets span a single rank and a draw resolves without any
+// binary-search iterations. Clamped so tiny samplers still work and huge
+// footprints do not pay unbounded index memory.
+func guideBuckets(cdf []float64) float64 {
+	t := 4 * len(cdf)
+	if t < 16 {
+		t = 16
+	}
+	if t > 1<<18 {
+		t = 1 << 18
+	}
+	return float64(t)
+}
+
+// buildGuide computes guide[k] = smallest i with cdf[i] >= k/T in one
+// pass over the cdf.
+func buildGuide(cdf []float64) []int32 {
+	t := int(guideBuckets(cdf))
+	guide := make([]int32, t+1)
+	i := 0
+	for k := 0; k <= t; k++ {
+		thr := float64(k) / float64(t)
+		for i < len(cdf) && cdf[i] < thr {
+			i++
+		}
+		if i >= len(cdf) {
+			guide[k] = int32(len(cdf) - 1)
+		} else {
+			guide[k] = int32(i)
+		}
+	}
+	return guide
 }
 
 // N returns the number of ranks the sampler draws from.
@@ -52,8 +109,33 @@ func (z *Zipf) Draw() int {
 // number of references one segment performs can never shift the
 // randomness any other segment sees.
 func (z *Zipf) DrawFrom(src *Source) int {
-	u := src.Float64()
-	return sort.SearchFloat64s(z.cdf, u)
+	return z.drawAt(src.Float64())
+}
+
+// drawAt maps a uniform u in [0, 1) to its rank. It must return exactly
+// lowerBound(cdf, u).
+func (z *Zipf) drawAt(u float64) int {
+	// Rounding in u*T can land one bucket high, never low (u*T >= k
+	// exactly implies the rounded product >= k because integers in this
+	// range are representable). The bucket search plus the backtrack
+	// guard below therefore returns exactly lowerBound(cdf, u).
+	k := int(u * z.buckets)
+	if k > len(z.guide)-2 {
+		k = len(z.guide) - 2
+	}
+	lo, hi := int(z.guide[k]), int(z.guide[k+1])
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo > 0 && z.cdf[lo-1] >= u {
+		lo--
+	}
+	return lo
 }
 
 // Categorical draws from a fixed discrete distribution given by weights.
@@ -101,7 +183,7 @@ func MustCategorical(src *Source, weights []float64) *Categorical {
 // Draw returns a category index in [0, len(weights)).
 func (c *Categorical) Draw() int {
 	u := c.src.Float64()
-	return sort.SearchFloat64s(c.cdf, u)
+	return lowerBound(c.cdf, u)
 }
 
 // K returns the number of categories.

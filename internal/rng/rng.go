@@ -41,13 +41,21 @@ func (s *Source) Uint64() uint64 {
 // independent of subsequent draws from the parent, so components can be
 // given private streams at construction time.
 func (s *Source) Fork() *Source {
+	v := s.ForkVal()
+	return &v
+}
+
+// ForkVal is Fork without the heap allocation: it returns the child
+// stream by value, for embedding inside pooled structures. The child
+// state is identical to what Fork would have produced.
+func (s *Source) ForkVal() Source {
 	// Mix the parent's next output through a different finalizer so the
 	// child does not share its sequence with the parent.
 	v := s.Uint64()
 	v ^= v >> 33
 	v *= 0xFF51AFD7ED558CCD
 	v ^= v >> 33
-	return &Source{state: v}
+	return Source{state: v}
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

@@ -256,6 +256,54 @@ func TestCategoricalZeroWeightNeverDrawn(t *testing.T) {
 	}
 }
 
+// ForkVal must produce exactly the state Fork would have, so converting
+// a call site from one to the other cannot move any random stream.
+func TestForkValMatchesFork(t *testing.T) {
+	a, b := New(51), New(51)
+	for i := 0; i < 100; i++ {
+		ca := a.Fork()
+		cb := b.ForkVal()
+		for j := 0; j < 8; j++ {
+			if ca.Uint64() != cb.Uint64() {
+				t.Fatalf("ForkVal diverged from Fork at fork %d draw %d", i, j)
+			}
+		}
+	}
+}
+
+// The guide-table Zipf search must be index-identical to a plain
+// lower-bound search over the full cdf for every draw, including the
+// u=0 and bucket-boundary edges — otherwise committed golden results
+// would shift.
+func TestZipfGuideMatchesLowerBound(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 100, 1024, 70000} {
+		z := NewZipf(New(53), n, 1.01)
+		src := New(uint64(59 + n))
+		for i := 0; i < 20000; i++ {
+			u := src.Float64()
+			want := lowerBound(z.cdf, u)
+			got := z.drawAt(u)
+			if got != want {
+				t.Fatalf("n=%d u=%v: guided search %d, lower bound %d", n, u, got, want)
+			}
+		}
+		// Boundary values: exact cdf entries and their neighbours.
+		for i, c := range z.cdf {
+			for _, u := range []float64{c, math.Nextafter(c, 0), math.Nextafter(c, 2)} {
+				if u < 0 || u >= 1 {
+					continue
+				}
+				if got, want := z.drawAt(u), lowerBound(z.cdf, u); got != want {
+					t.Fatalf("n=%d boundary i=%d u=%v: guided %d, lower bound %d", n, i, u, got, want)
+				}
+			}
+		}
+		if got, want := z.drawAt(0), lowerBound(z.cdf, 0); got != want {
+			t.Fatalf("n=%d u=0: guided %d, lower bound %d", n, got, want)
+		}
+	}
+}
+
 // Property: Intn is always in range for any positive n and any seed.
 func TestQuickIntnInRange(t *testing.T) {
 	f := func(seed uint64, n uint16) bool {

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"offloadsim/internal/migration"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/workloads"
+)
+
+// fuzzProfiles is the pool of workload profiles the fuzzer composes
+// configurations from.
+var fuzzProfiles = []func() *workloads.Profile{
+	workloads.Apache, workloads.SPECjbb, workloads.Derby, workloads.Blackscholes,
+}
+
+// FuzzCanonicalize throws arbitrary configuration knobs at Canonicalize
+// and checks the invariants the offsimd result cache is built on:
+//
+//   - Canonicalize accepts or rejects without panicking;
+//   - it is idempotent — a canonical config is its own canonical form;
+//   - CanonicalKey(c) equals CanonicalKey(Canonicalize(c)), so cache keys
+//     do not depend on whether the caller pre-normalized;
+//   - a uniform per-core Workloads list keys identically to the collapsed
+//     single-Workload spelling of the same machine.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add(uint8(0), uint8(3), int32(100), uint8(1), int32(1000), uint8(0), uint64(1), uint32(0), uint32(1_000_000), false, false)
+	f.Add(uint8(1), uint8(0), int32(0), uint8(2), int32(0), uint8(2), uint64(7), uint32(300_000), uint32(64_000_000), false, true)
+	f.Add(uint8(2), uint8(4), int32(10_000), uint8(4), int32(2500), uint8(1), uint64(42), uint32(1), uint32(1), true, false)
+	f.Add(uint8(3), uint8(5), int32(-5), uint8(0), int32(-1), uint8(255), uint64(0), uint32(0), uint32(0), true, true)
+	f.Fuzz(func(t *testing.T, wl, policyRaw uint8, threshold int32, userCores uint8, oneWay int32, slots uint8, seed uint64, warmup, measure uint32, dynamicN, uniformList bool) {
+		prof := fuzzProfiles[int(wl)%len(fuzzProfiles)]()
+		cfg := DefaultConfig(prof)
+		cfg.Policy = policy.Kind(policyRaw % 6) // includes one out-of-range kind
+		cfg.Threshold = int(threshold)
+		cfg.UserCores = int(userCores) % 9
+		cfg.Migration = migration.Custom(int(oneWay))
+		cfg.OSCoreSlots = int(slots) % 5
+		cfg.Seed = seed
+		cfg.WarmupInstrs = uint64(warmup)
+		cfg.MeasureInstrs = uint64(measure)
+		cfg.DynamicN = dynamicN
+		if uniformList && cfg.UserCores > 0 {
+			// Spell the same machine as an explicit per-core list.
+			cfg.Workloads = make([]*workloads.Profile, cfg.UserCores)
+			for i := range cfg.Workloads {
+				cfg.Workloads[i] = prof
+			}
+		}
+
+		cc, err := Canonicalize(cfg)
+		if err != nil {
+			// Rejected input: the error path must agree with Validate.
+			if vErr := cfg.Validate(); vErr == nil {
+				t.Fatalf("Canonicalize rejected a config Validate accepts: %v", err)
+			}
+			return
+		}
+		if err := cc.Validate(); err != nil {
+			t.Fatalf("canonical form fails Validate: %v", err)
+		}
+		cc2, err := Canonicalize(cc)
+		if err != nil {
+			t.Fatalf("re-canonicalizing failed: %v", err)
+		}
+		if !reflect.DeepEqual(cc, cc2) {
+			t.Fatalf("Canonicalize not idempotent:\n first = %+v\nsecond = %+v", cc, cc2)
+		}
+		key, err := CanonicalKey(cfg)
+		if err != nil {
+			t.Fatalf("CanonicalKey(original): %v", err)
+		}
+		keyCC, err := CanonicalKey(cc)
+		if err != nil {
+			t.Fatalf("CanonicalKey(canonical): %v", err)
+		}
+		if key != keyCC {
+			t.Fatalf("key changed under canonicalization: %s vs %s", key, keyCC)
+		}
+		if uniformList && cfg.UserCores > 0 {
+			collapsed := cfg
+			collapsed.Workloads = nil
+			collapsed.Workload = prof
+			keyC, err := CanonicalKey(collapsed)
+			if err != nil {
+				t.Fatalf("CanonicalKey(collapsed): %v", err)
+			}
+			if keyC != key {
+				t.Fatalf("uniform Workloads list keys differently from single Workload: %s vs %s", key, keyC)
+			}
+		}
+	})
+}

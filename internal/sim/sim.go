@@ -241,6 +241,10 @@ type userCtx struct {
 	// state without a back-pointer
 	epochHitRateFn func() float64
 	resnapshot     func()
+
+	// seg is the in-flight segment, reused across steps so handing the
+	// policy and cores a pointer never forces a heap escape.
+	seg trace.Segment
 }
 
 // Simulator is one configured system ready to run.
@@ -422,15 +426,16 @@ func (u *userCtx) epochFeedback(s *Simulator) float64 {
 
 // step advances one user core by one segment.
 func (s *Simulator) step(u *userCtx) {
-	seg := u.gen.Next()
+	u.seg = u.gen.Next()
+	seg := &u.seg
 	if !seg.IsOS() {
-		cycles := u.core.RunSegment(&seg)
+		cycles := u.core.RunSegment(seg)
 		u.clock += cycles
-		u.advance(&seg)
+		u.advance(seg)
 		return
 	}
 
-	d := u.pol.Decide(&seg)
+	d := u.pol.Decide(seg)
 	if d.Overhead > 0 {
 		u.core.Stall(uint64(d.Overhead))
 		u.clock += uint64(d.Overhead)
@@ -439,17 +444,17 @@ func (s *Simulator) step(u *userCtx) {
 	if d.Offload && !s.cfg.InstrumentOnly && s.osCore != nil {
 		oneWay := uint64(s.cfg.Migration.OneWay)
 		arrival := u.clock + oneWay
-		execCycles := s.osCore.RunSegment(&seg)
+		execCycles := s.osCore.RunSegment(seg)
 		_, wait := s.osQueue.Reserve(arrival, execCycles)
 		total := oneWay + wait + execCycles + oneWay
 		u.core.Idle(total)
 		u.clock += total
 	} else {
-		cycles := u.core.RunSegment(&seg)
+		cycles := u.core.RunSegment(seg)
 		u.clock += cycles
 	}
-	u.pol.Observe(&seg, d, seg.Instrs)
-	u.advance(&seg)
+	u.pol.Observe(seg, d, seg.Instrs)
+	u.advance(seg)
 }
 
 // advance updates retirement and epoch bookkeeping after a segment.

@@ -69,7 +69,12 @@ type Generator struct {
 
 	trapCtx [][3]uint64 // distinct (g1,i0,i1) user contexts at trap time
 
-	queue []Segment // traps + syscall pending after the current user burst
+	// queue holds the traps + syscall pending after the current user
+	// burst, consumed ring-style: qhead advances instead of re-slicing,
+	// and the storage is reset and reused once drained, so steady-state
+	// generation never reallocates it.
+	queue []Segment
+	qhead int
 
 	callDepth int
 	burstP    float64
@@ -149,11 +154,13 @@ func (g *Generator) Shared() *Region { return g.shared }
 // user bursts with the OS activity they trigger: zero or more short traps
 // followed by one system call.
 func (g *Generator) Next() Segment {
-	if len(g.queue) > 0 {
-		seg := g.queue[0]
-		g.queue = g.queue[1:]
+	if g.qhead < len(g.queue) {
+		seg := g.queue[g.qhead]
+		g.qhead++
 		return seg
 	}
+	g.queue = g.queue[:0]
+	g.qhead = 0
 	burst := g.prof.UserBurstMin + g.src.Geometric(g.burstP)
 	user := g.userSegment(burst)
 
@@ -211,7 +218,7 @@ func (g *Generator) userSegment(instrs int) Segment {
 		Instrs:   instrs,
 		MemRatio: g.prof.UserMemRatio,
 		codeMain: g.userCode,
-		src:      g.mix.Fork(),
+		src:      g.mix.ForkVal(),
 	}
 	seg.setSources(
 		dataSource{region: g.userData, cum: 1 - g.prof.UserSharedFrac, writeFrac: g.prof.UserWriteFrac},
@@ -251,7 +258,7 @@ func (g *Generator) trapSegment(id syscalls.ID) Segment {
 		AState:        astate,
 		Instrs:        instrs,
 		NominalInstrs: instrs,
-		src:           g.mix.Fork(),
+		src:           g.mix.ForkVal(),
 		codeMain:      g.kernel.SysCode[id],
 	}
 	switch id {
@@ -341,7 +348,7 @@ func (g *Generator) syscallSegment() Segment {
 		codeMain:      g.kernel.SysCode[id],
 		codeAlt:       g.kernel.CommonCode,
 		codeAltProb:   commonCodePct,
-		src:           g.mix.Fork(),
+		src:           g.mix.ForkVal(),
 	}
 	extFrac := 0.0
 	if interrupted {

@@ -75,7 +75,9 @@ type Segment struct {
 	sources  [maxSources]dataSource
 	nSources int
 
-	src *rng.Source
+	// src is the segment's private reference stream, held by value so
+	// producing a segment allocates nothing.
+	src rng.Source
 }
 
 // setSources normalizes weights into the cumulative form Draw uses.
@@ -109,12 +111,12 @@ func (s *Segment) NextData() (lineAddr uint64, write bool) {
 	for i := 0; i < s.nSources; i++ {
 		if u <= s.sources[i].cum {
 			src := &s.sources[i]
-			return src.region.NextFrom(s.src), s.src.Bool(src.writeFrac)
+			return src.region.NextFrom(&s.src), s.src.Bool(src.writeFrac)
 		}
 	}
 	// Unreachable: the last cum is pinned to 1.0.
 	src := &s.sources[s.nSources-1]
-	return src.region.NextFrom(s.src), s.src.Bool(src.writeFrac)
+	return src.region.NextFrom(&s.src), s.src.Bool(src.writeFrac)
 }
 
 // BatchRefs converts the segment's length into whole reference counts
@@ -138,9 +140,9 @@ func (s *Segment) BatchRefs(ifInterval int, ifCarry int, dataCarry float64) (nIF
 // NextIFetch returns the next instruction-fetch line address.
 func (s *Segment) NextIFetch() uint64 {
 	if s.codeAlt != nil && s.src.Bool(s.codeAltProb) {
-		return s.codeAlt.NextFrom(s.src)
+		return s.codeAlt.NextFrom(&s.src)
 	}
-	return s.codeMain.NextFrom(s.src)
+	return s.codeMain.NextFrom(&s.src)
 }
 
 // IsOS reports whether the segment executes in privileged mode.
