@@ -7,9 +7,10 @@
 GO ?= go
 
 .PHONY: ci fmt vet test race server-race build build-examples bench \
-	bench-json bench-engine accuracy golden golden-check fuzz-smoke
+	bench-json bench-engine bench-parallel accuracy accuracy-parallel \
+	golden golden-check fuzz-smoke
 
-ci: fmt vet build-examples race golden-check fuzz-smoke accuracy
+ci: fmt vet build-examples race golden-check fuzz-smoke accuracy accuracy-parallel
 
 build:
 	$(GO) build ./...
@@ -43,6 +44,13 @@ server-race:
 accuracy:
 	$(GO) test -run '^TestSamplingAccuracy$$' -count=1 -v ./internal/experiments/
 
+# Parallel-engine accuracy gate: the multi-core threshold sweep on the
+# quantum-parallel engine must keep normalized-IPC error within 2% of
+# serial detailed; the 2.5x speedup floor asserts only on hosts with
+# >=4 CPUs (docs/PARALLEL.md). Skips itself under -race, like accuracy.
+accuracy-parallel:
+	$(GO) test -run '^TestParallelAccuracy$$' -count=1 -v ./internal/experiments/
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ -pgo=default.pgo .
 
@@ -58,6 +66,13 @@ bench-json:
 # default.pgo automatically (see docs/PERFORMANCE.md).
 bench-engine:
 	OFFLOADSIM_BENCH_ENGINE=BENCH_engine.json $(GO) test -run '^TestWriteBenchEngineJSON$$' -count=1 -v -pgo=default.pgo .
+
+# Parallel-engine trajectory: serial vs quantum-parallel wall clock on
+# the 8-simulated-core configuration, swept over 1/2/4/8 workers, into
+# BENCH_parallel.json (records host CPU count — speedup needs free
+# cores).
+bench-parallel:
+	OFFLOADSIM_BENCH_PARALLEL=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -count=1 -v -timeout 30m .
 
 # Byte-identical golden gate: the corpus in testdata/golden must
 # replay exactly. Part of `make ci`; a perf PR that fails this changed

@@ -1,0 +1,87 @@
+// Parallel-engine bench trajectory: `make bench-parallel`
+// (OFFLOADSIM_BENCH_PARALLEL=BENCH_parallel.json go test -run
+// TestWriteBenchParallelJSON) measures the eight-simulated-core apache
+// configuration on the serial detailed engine and on the quantum-
+// parallel engine at 1/2/4/8 workers, and writes BENCH_parallel.json.
+// The recorded speedup is serial wall time over parallel wall time at
+// the host's best worker count; it scales with free host cores, so the
+// committed file also records the host CPU count the numbers were taken
+// on.
+package offloadsim_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"offloadsim/internal/enginebench"
+)
+
+// parallelBenchFile is the recorded shape of one bench-parallel run.
+type parallelBenchFile struct {
+	Description string `json:"description"`
+	HostCPUs    int    `json:"host_cpus"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	// SerialInstrsPerS is the serial detailed engine on the identical
+	// eight-core configuration.
+	SerialInstrsPerS float64 `json:"serial_sim_instrs_per_sec"`
+	// ParallelInstrsPerS maps worker count -> simulated instructions
+	// per wall second on the parallel engine.
+	ParallelInstrsPerS map[string]float64 `json:"parallel_sim_instrs_per_sec"`
+	// BestWorkers is the worker count with the highest throughput.
+	BestWorkers int `json:"best_workers"`
+	// Speedup is best-parallel over serial throughput.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchmarkEngineParallelRun is the root view of the end-to-end
+// parallel-engine benchmark at the default worker count.
+func BenchmarkEngineParallelRun(b *testing.B) { enginebench.ParallelRun(b) }
+
+// BenchmarkEngineSerialMulticoreRun is its serial reference.
+func BenchmarkEngineSerialMulticoreRun(b *testing.B) { enginebench.SerialMulticoreRun(b) }
+
+// TestWriteBenchParallelJSON is the engine of `make bench-parallel`. It
+// is a no-op unless OFFLOADSIM_BENCH_PARALLEL names the output file, so
+// plain `go test` stays fast.
+func TestWriteBenchParallelJSON(t *testing.T) {
+	path := os.Getenv("OFFLOADSIM_BENCH_PARALLEL")
+	if path == "" {
+		t.Skip("set OFFLOADSIM_BENCH_PARALLEL=<file> to run the parallel bench")
+	}
+	serial := testing.Benchmark(enginebench.SerialMulticoreRun)
+	out := parallelBenchFile{
+		Description:        "8-simulated-core apache/HI run: serial detailed engine vs quantum-parallel engine per worker count",
+		HostCPUs:           runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		SerialInstrsPerS:   serial.Extra["sim_instrs/s"],
+		ParallelInstrsPerS: map[string]float64{},
+	}
+	best := 0.0
+	for _, workers := range []int{1, 2, 4, 8} {
+		r := testing.Benchmark(enginebench.ParallelRunWorkers(workers))
+		v := r.Extra["sim_instrs/s"]
+		out.ParallelInstrsPerS[strconv.Itoa(workers)] = v
+		if v > best {
+			best = v
+			out.BestWorkers = workers
+		}
+	}
+	if out.SerialInstrsPerS > 0 {
+		out.Speedup = best / out.SerialInstrsPerS
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: serial %.2fM instrs/s, best parallel %.2fM at %d workers (%.2fx) on %d host CPUs",
+		path, out.SerialInstrsPerS/1e6, best/1e6, out.BestWorkers, out.Speedup, out.HostCPUs)
+}

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"offloadsim"
+	"offloadsim/internal/parallel"
 )
 
 // Row is one sweep result in export form.
@@ -54,6 +55,8 @@ func main() {
 		energy        = flag.Bool("energy", false, "include energy/EDP columns (default power model)")
 		sampled       = flag.Bool("sampled", false, "run every point in interval-sampling mode (default schedule; see docs/SAMPLING.md)")
 		replicas      = flag.Int("replicas", 1, "independent sampled replicas merged per point (requires -sampled)")
+		parEngine     = flag.Bool("parallel", false, "run every point on the quantum-parallel detailed engine (docs/PARALLEL.md)")
+		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "host goroutines running sweep points concurrently (results are order- and count-independent)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (pprof format)")
 		memProfile    = flag.String("memprofile", "", "write an end-of-sweep heap profile to this file (pprof format)")
 	)
@@ -88,6 +91,9 @@ func main() {
 	if *replicas > 1 && !*sampled {
 		fail("-replicas requires -sampled")
 	}
+	if *workers < 1 {
+		fail("-workers must be >= 1")
+	}
 
 	// Profiling hooks: a sweep is the natural harness for profiling the
 	// simulation engine under a realistic mix (docs/PERFORMANCE.md walks
@@ -119,6 +125,12 @@ func main() {
 		}()
 	}
 	runOne := func(cfg offloadsim.Config) (offloadsim.Result, error) {
+		if *parEngine {
+			cfg.Parallel = offloadsim.DefaultParallel()
+			// Host parallelism lives in the row fan-out; each point stays
+			// single-goroutine so -workers alone bounds the load.
+			cfg.Parallel.Workers = 1
+		}
 		if !*sampled {
 			return offloadsim.Run(cfg)
 		}
@@ -128,8 +140,15 @@ func main() {
 		return res, err
 	}
 
-	model := offloadsim.DefaultEnergyModel()
-	var rows []Row
+	// The grid flattens into an indexed point list executed on a worker
+	// pool. Every point is a pure function of its Config, so concurrency
+	// affects wall time only; results land in input order, keeping the
+	// emitted rows byte-identical at any -workers.
+	type outcome struct {
+		res offloadsim.Result
+		err error
+	}
+	baseFor := make(map[string]offloadsim.Config, len(wls))
 	for _, wl := range wls {
 		prof, ok := offloadsim.WorkloadByName(wl)
 		if !ok {
@@ -141,10 +160,27 @@ func main() {
 		baseCfg.WarmupInstrs = *warmup
 		baseCfg.MeasureInstrs = *measure
 		baseCfg.Seed = *seed
-		baseRes, err := runOne(baseCfg)
-		if err != nil {
-			fail(err.Error())
+		baseFor[wl] = baseCfg
+	}
+	baseOut := parallel.Map(*workers, len(wls), func(i int) outcome {
+		res, err := runOne(baseFor[wls[i]])
+		return outcome{res, err}
+	})
+	baseRes := make(map[string]offloadsim.Result, len(wls))
+	for i, out := range baseOut {
+		if out.err != nil {
+			fail(out.err.Error())
 		}
+		baseRes[wls[i]] = out.res
+	}
+
+	type point struct {
+		wl     string
+		kind   offloadsim.PolicyKind
+		n, lat int
+	}
+	var points []point
+	for _, wl := range wls {
 		for _, pol := range pols {
 			kind, ok := offloadsim.ParsePolicy(pol)
 			if !ok {
@@ -152,38 +188,49 @@ func main() {
 			}
 			for _, n := range ns {
 				for _, lat := range lats {
-					cfg := baseCfg
-					cfg.Policy = kind
-					cfg.Threshold = n
-					cfg.Migration = offloadsim.CustomMigration(lat)
-					res, err := runOne(cfg)
-					if err != nil {
-						fail(err.Error())
-					}
-					row := Row{
-						Workload:   wl,
-						Policy:     res.Policy,
-						Threshold:  n,
-						OneWay:     lat,
-						Throughput: res.Throughput,
-						Normalized: res.Throughput / baseRes.Throughput,
-						OffloadPct: 100 * res.OffloadRate,
-						OSUtilPct:  100 * res.OSCoreUtilization,
-						UserL2Hit:  res.UserL2HitRate,
-						OSL2Hit:    res.OSL2HitRate,
-						C2C:        res.C2CTransfers,
-						QueueMean:  res.MeanQueueDelay,
-					}
-					if *energy {
-						if rep, err := offloadsim.Energy(res, model); err == nil {
-							row.Joules = rep.Joules
-							row.EDP = rep.EDP
-						}
-					}
-					rows = append(rows, row)
+					points = append(points, point{wl, kind, n, lat})
 				}
 			}
 		}
+	}
+	outs := parallel.Map(*workers, len(points), func(i int) outcome {
+		p := points[i]
+		cfg := baseFor[p.wl]
+		cfg.Policy = p.kind
+		cfg.Threshold = p.n
+		cfg.Migration = offloadsim.CustomMigration(p.lat)
+		res, err := runOne(cfg)
+		return outcome{res, err}
+	})
+
+	model := offloadsim.DefaultEnergyModel()
+	rows := make([]Row, 0, len(points))
+	for i, out := range outs {
+		if out.err != nil {
+			fail(out.err.Error())
+		}
+		p, res := points[i], out.res
+		row := Row{
+			Workload:   p.wl,
+			Policy:     res.Policy,
+			Threshold:  p.n,
+			OneWay:     p.lat,
+			Throughput: res.Throughput,
+			Normalized: res.Throughput / baseRes[p.wl].Throughput,
+			OffloadPct: 100 * res.OffloadRate,
+			OSUtilPct:  100 * res.OSCoreUtilization,
+			UserL2Hit:  res.UserL2HitRate,
+			OSL2Hit:    res.OSL2HitRate,
+			C2C:        res.C2CTransfers,
+			QueueMean:  res.MeanQueueDelay,
+		}
+		if *energy {
+			if rep, err := offloadsim.Energy(res, model); err == nil {
+				row.Joules = rep.Joules
+				row.EDP = rep.EDP
+			}
+		}
+		rows = append(rows, row)
 	}
 
 	switch *format {

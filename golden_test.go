@@ -49,9 +49,14 @@ func goldenSampling() offloadsim.Sampling {
 }
 
 // goldenCases builds the matrix: workload x {baseline, static-N,
-// dynamic-N} x {detailed, sampled}. Dynamic-N has no sampled cell — the
-// combination is rejected by config validation (the epoch tuner's
-// feedback is undefined under functional warming).
+// dynamic-N} x {detailed, sampled, parallel}, plus a parallel+sampled
+// composition cell per workload on the static-N variant. Dynamic-N has
+// no sampled or parallel cell — both combinations are rejected by
+// config validation (the epoch tuner's feedback is undefined under
+// functional warming and quantum isolation alike). The parallel cells
+// run multi-core (the engine's reason to exist) and pin the
+// quantum-reconciliation results byte-for-byte: any change to event
+// ordering, estimate pricing or the barrier fix-up shows up here.
 func goldenCases() []goldenCase {
 	var cases []goldenCase
 	for _, wl := range goldenWorkloads {
@@ -91,7 +96,7 @@ func goldenCases() []goldenCase {
 				cfg:  cfg,
 			})
 			if cfg.DynamicN {
-				continue // Sampling+DynamicN is rejected by Validate.
+				continue // Sampling/Parallel + DynamicN are rejected by Validate.
 			}
 			scfg := cfg
 			scfg.Sampling = goldenSampling()
@@ -100,6 +105,22 @@ func goldenCases() []goldenCase {
 				sampled: true,
 				cfg:     scfg,
 			})
+			pcfg := cfg
+			pcfg.UserCores = 4
+			pcfg.Parallel = offloadsim.DefaultParallel()
+			cases = append(cases, goldenCase{
+				name: fmt.Sprintf("%s_%s_parallel", wl, v.name),
+				cfg:  pcfg,
+			})
+			if v.name == "static100" {
+				pscfg := pcfg
+				pscfg.Sampling = goldenSampling()
+				cases = append(cases, goldenCase{
+					name:    fmt.Sprintf("%s_%s_parallel_sampled", wl, v.name),
+					sampled: true,
+					cfg:     pscfg,
+				})
+			}
 		}
 	}
 	return cases

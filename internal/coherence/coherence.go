@@ -143,6 +143,11 @@ type System struct {
 	// nothing in steady state.
 	scratch []presenceRec
 
+	// epochEvents and epochLines are ReconcileEpoch's reusable merge and
+	// fix-up buffers (see epoch.go), allocation-free in steady state.
+	epochEvents []epochEvent
+	epochLines  []uint64
+
 	Stats Stats
 }
 

@@ -1,0 +1,602 @@
+// Quantum-epoch support for the parallel detailed engine (docs/PARALLEL.md).
+//
+// During one quantum every simulated core runs against a frozen view of
+// the shared coherence state: the directory is read-only, remote L2
+// arrays are never touched, and each core drives a private EpochPort
+// instead of the System. The port classifies every L2 miss from the
+// epoch-start directory contents alone, composes the same latency terms
+// the serial protocol would (fabric hops, directory lookup, memory
+// fill, cache-to-cache forward), mutates only node-private state (own
+// L2, own L1s via back-invalidation, private counter deltas), and logs
+// each cross-core interaction into a per-port event buffer.
+//
+// At the quantum barrier ReconcileEpoch runs serially: it merges the
+// counter deltas in fixed node order, sorts the union of all event logs
+// by (timestamp, node, sequence) and replays them chronologically
+// against the real directory and L2 arrays — invalidating stale remote
+// copies, downgrading dirty owners, accounting the invalidation and
+// writeback traffic — and finally repairs every touched line so the
+// directory invariants (CheckInvariants) hold exactly before the next
+// quantum begins. Everything here is deterministic at any worker count:
+// the quantum execution depends only on per-core private state plus the
+// frozen snapshot, and the barrier passes run in one fixed order.
+package coherence
+
+import (
+	"slices"
+
+	"offloadsim/internal/cache"
+	"offloadsim/internal/interconnect"
+	"offloadsim/internal/memory"
+)
+
+// Port is the memory-system interface a core drives: the shared System
+// in serial mode, or a node-private EpochPort during a parallel
+// quantum. System implements Port.
+type Port interface {
+	Read(node int, lineAddr uint64) (latency int, hit bool)
+	Write(node int, lineAddr uint64) (latency int, hit bool)
+}
+
+var (
+	_ Port = (*System)(nil)
+	_ Port = (*EpochPort)(nil)
+)
+
+// epochKind classifies one buffered cross-core event.
+type epochKind uint8
+
+const (
+	epochRead epochKind = iota
+	epochWrite
+	epochVictim
+)
+
+// epochEvent is one logged interaction, ordered globally by
+// (time, node, seq). time is the issuing core's clock at the start of
+// the segment that produced the event; seq disambiguates events within
+// a port, so the total order is independent of worker scheduling.
+type epochEvent struct {
+	time        uint64
+	line        uint64
+	seq         uint32
+	node        int16
+	kind        epochKind
+	victimState cache.State
+}
+
+// EpochPort is one node's private window onto the memory system for the
+// duration of a quantum. It must only be used by one goroutine at a
+// time, and ReconcileEpoch must be called (serially, with no ports
+// active) before any serial-path System access.
+type EpochPort struct {
+	sys    *System
+	node   int
+	l2     *cache.Cache
+	fabric *interconnect.Local
+	mem    *memory.Local
+
+	now    uint64
+	seq    uint32
+	events []epochEvent
+	stats  Stats
+}
+
+// NewEpochPort builds the quantum port for node.
+func (s *System) NewEpochPort(node int) *EpochPort {
+	return &EpochPort{
+		sys:    s,
+		node:   node,
+		l2:     s.l2s[node],
+		fabric: s.fabric.NewLocal(),
+		mem:    s.mem.NewLocal(),
+	}
+}
+
+// SetTime stamps subsequently logged events with the issuing core's
+// current clock. Called once per segment; intra-segment events share the
+// timestamp and are ordered by sequence number.
+func (p *EpochPort) SetTime(now uint64) { p.now = now }
+
+func (p *EpochPort) log(k epochKind, line uint64, vs cache.State) {
+	p.events = append(p.events, epochEvent{
+		time: p.now, line: line, seq: p.seq, node: int16(p.node),
+		kind: k, victimState: vs,
+	})
+	p.seq++
+}
+
+// victim handles an own-L2 eviction during the quantum: inclusion is
+// node-private (back-invalidate own L1s immediately); the directory
+// side resolves at the barrier.
+func (p *EpochPort) victim(v cache.Victim) {
+	p.sys.backInvalidate(p.node, v.LineAddr)
+	p.log(epochVictim, v.LineAddr, v.State)
+}
+
+// invLatency returns the parallel-invalidation round trip the serial
+// protocol charges when any other node holds the line — judged here
+// from the epoch-start directory. The invalidation messages themselves
+// are accounted at the barrier, when they actually resolve against the
+// serialized state.
+func (p *EpochPort) invLatency(e *dirEntry) int {
+	if e == nil {
+		return 0
+	}
+	others := false
+	switch e.state {
+	case dirShared, dirOwned:
+		others = e.sharers&^(1<<uint(p.node)) != 0
+	case dirExclusive:
+		others = int(e.owner) != p.node
+	}
+	if !others {
+		return 0
+	}
+	return 2 * (p.sys.cfg.Fabric.RouterLatency + p.sys.cfg.Fabric.LinkLatency)
+}
+
+// remoteOwner reports whether the frozen entry records another node's
+// exclusive or owned copy. A self-owned record with the local copy
+// missing means this node evicted the line earlier in the quantum; the
+// refill is classified as a memory fill, exactly what the serial
+// protocol would see after the victim's directory update.
+func (p *EpochPort) remoteOwner(e *dirEntry) bool {
+	return e != nil && (e.state == dirExclusive || e.state == dirOwned) &&
+		int(e.owner) != p.node
+}
+
+// Read performs a quantum-local coherent read. The node argument is
+// carried only to satisfy Port; the port is bound to its node.
+func (p *EpochPort) Read(_ int, lineAddr uint64) (int, bool) {
+	l2 := p.l2
+	l2.Stats.Accesses.Inc()
+	if st := l2.Probe(lineAddr); st != cache.Invalid {
+		l2.Stats.Hits.Inc()
+		return l2.Config().HitLatency, true
+	}
+	l2.Stats.Misses.Inc()
+
+	lat := l2.Config().HitLatency
+	lat += p.fabric.Send(interconnect.ReqMsg, 1)
+	lat += p.sys.cfg.DirectoryLatency
+	p.stats.DirLookups.Inc()
+
+	e := p.sys.dir.get(lineAddr)
+	fill := cache.Shared
+	switch {
+	case p.remoteOwner(e):
+		// Cache-to-cache forward from the recorded owner. Whether the
+		// supply is dirty is only known at the barrier; DirtyC2C is
+		// counted there.
+		lat += p.fabric.Send(interconnect.FwdMsg, 1)
+		lat += p.sys.l2s[e.owner].Config().HitLatency
+		lat += p.fabric.Send(interconnect.DataMsg, 1)
+		p.stats.C2CTransfers.Inc()
+		p.stats.CoherenceMisses.Inc()
+	case e != nil && e.state == dirShared:
+		lat += p.mem.Read()
+		p.stats.MemoryFills.Inc()
+		lat += p.fabric.Send(interconnect.DataMsg, 1)
+	default:
+		// Untracked, uncached, or tracked to this node's own since-evicted
+		// copy: memory supplies the line exclusively.
+		lat += p.mem.Read()
+		p.stats.MemoryFills.Inc()
+		lat += p.fabric.Send(interconnect.DataMsg, 1)
+		fill = cache.Exclusive
+	}
+
+	p.log(epochRead, lineAddr, cache.Invalid)
+	if v, evicted := l2.Allocate(lineAddr, fill); evicted {
+		p.victim(v)
+	}
+	return lat, false
+}
+
+// Write performs a quantum-local coherent write.
+func (p *EpochPort) Write(_ int, lineAddr uint64) (int, bool) {
+	l2 := p.l2
+	l2.Stats.Accesses.Inc()
+	switch l2.Probe(lineAddr) {
+	case cache.Modified:
+		l2.Stats.Hits.Inc()
+		return l2.Config().HitLatency, true
+	case cache.Exclusive:
+		// Silent E->M upgrade, as in the serial protocol.
+		l2.Stats.Hits.Inc()
+		l2.SetState(lineAddr, cache.Modified)
+		return l2.Config().HitLatency, true
+	case cache.Shared, cache.Owned:
+		// Upgrade miss: charge the serial path's directory transaction and
+		// parallel invalidation round trip; the invalidations themselves
+		// land at the barrier.
+		l2.Stats.Misses.Inc()
+		p.stats.UpgradeMisses.Inc()
+		lat := l2.Config().HitLatency
+		lat += p.fabric.Send(interconnect.ReqMsg, 1)
+		lat += p.sys.cfg.DirectoryLatency
+		p.stats.DirLookups.Inc()
+		lat += p.invLatency(p.sys.dir.get(lineAddr))
+		l2.SetState(lineAddr, cache.Modified)
+		p.log(epochWrite, lineAddr, cache.Invalid)
+		return lat, false
+	}
+	// Write miss.
+	l2.Stats.Misses.Inc()
+	lat := l2.Config().HitLatency
+	lat += p.fabric.Send(interconnect.ReqMsg, 1)
+	lat += p.sys.cfg.DirectoryLatency
+	p.stats.DirLookups.Inc()
+
+	e := p.sys.dir.get(lineAddr)
+	switch {
+	case p.remoteOwner(e) && e.state == dirExclusive:
+		lat += p.fabric.Send(interconnect.FwdMsg, 1)
+		lat += p.sys.l2s[e.owner].Config().HitLatency
+		lat += p.fabric.Send(interconnect.DataMsg, 1)
+		p.stats.C2CTransfers.Inc()
+		p.stats.CoherenceMisses.Inc()
+	case p.remoteOwner(e): // dirOwned
+		lat += p.fabric.Send(interconnect.FwdMsg, 1)
+		lat += p.sys.l2s[e.owner].Config().HitLatency
+		lat += p.invLatency(e)
+		lat += p.fabric.Send(interconnect.DataMsg, 1)
+		p.stats.C2CTransfers.Inc()
+		p.stats.CoherenceMisses.Inc()
+	case e != nil && e.state == dirShared:
+		lat += p.invLatency(e)
+		lat += p.mem.Read()
+		p.stats.MemoryFills.Inc()
+		lat += p.fabric.Send(interconnect.DataMsg, 1)
+		p.stats.CoherenceMisses.Inc()
+	default:
+		lat += p.mem.Read()
+		p.stats.MemoryFills.Inc()
+		lat += p.fabric.Send(interconnect.DataMsg, 1)
+	}
+
+	p.log(epochWrite, lineAddr, cache.Invalid)
+	if v, evicted := l2.Allocate(lineAddr, cache.Modified); evicted {
+		p.victim(v)
+	}
+	return lat, false
+}
+
+// mergeStats folds one port's protocol-counter deltas into the shared
+// totals and clears them.
+func (s *System) mergeStats(st *Stats) {
+	s.Stats.DirLookups.Add(st.DirLookups.Value())
+	s.Stats.C2CTransfers.Add(st.C2CTransfers.Value())
+	s.Stats.DirtyC2C.Add(st.DirtyC2C.Value())
+	s.Stats.Invalidations.Add(st.Invalidations.Value())
+	s.Stats.UpgradeMisses.Add(st.UpgradeMisses.Value())
+	s.Stats.MemoryFills.Add(st.MemoryFills.Value())
+	s.Stats.CoherenceMisses.Add(st.CoherenceMisses.Value())
+	*st = Stats{}
+}
+
+// ReconcileEpoch merges one quantum's buffered effects into the shared
+// system. It must run with no port active. The order is fixed: counter
+// deltas in port (node) order, then chronological event replay, then
+// the per-line invariant fix-up — so the post-barrier state is a pure
+// function of the ports' contents, independent of worker scheduling.
+func (s *System) ReconcileEpoch(ports []*EpochPort) {
+	for _, p := range ports {
+		s.mergeStats(&p.stats)
+		s.fabric.Merge(p.fabric)
+		s.mem.Merge(p.mem)
+	}
+	s.epochEvents = s.epochEvents[:0]
+	for _, p := range ports {
+		s.epochEvents = append(s.epochEvents, p.events...)
+		p.events = p.events[:0]
+		p.seq = 0
+	}
+	evs := s.epochEvents
+	slices.SortFunc(evs, func(a, b epochEvent) int {
+		if a.time != b.time {
+			if a.time < b.time {
+				return -1
+			}
+			return 1
+		}
+		if a.node != b.node {
+			return int(a.node) - int(b.node)
+		}
+		if a.seq != b.seq {
+			if a.seq < b.seq {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	for i := range evs {
+		s.applyEpochEvent(&evs[i])
+	}
+	s.fixupEpochLines(evs)
+}
+
+// applyEpochEvent replays one buffered event against the real directory
+// and L2 arrays. Latency was already charged during the quantum; replay
+// performs the state transitions the serialized order implies and
+// accounts the traffic only the resolved state can reveal
+// (invalidations, dirty supplies, writebacks). Presence checks guard
+// every remote mutation: the L2 arrays hold end-of-quantum contents, so
+// a recorded holder may already have evicted the line.
+func (s *System) applyEpochEvent(ev *epochEvent) {
+	switch ev.kind {
+	case epochVictim:
+		s.applyEpochVictim(int(ev.node), ev.line, ev.victimState)
+	case epochRead:
+		s.applyEpochRead(int(ev.node), ev.line)
+	case epochWrite:
+		s.applyEpochWrite(int(ev.node), ev.line)
+	}
+}
+
+// demoteToShared forces node's present copy of line to Shared. Used
+// when replay joins a node to a sharer set while its private copy holds
+// a stronger state; a later write event by the same node re-establishes
+// Modified in its turn.
+func (s *System) demoteToShared(node int, line uint64) {
+	if st := s.l2s[node].Lookup(line); st != cache.Invalid && st != cache.Shared {
+		s.l2s[node].SetState(line, cache.Shared)
+	}
+}
+
+func (s *System) applyEpochRead(node int, line uint64) {
+	present := s.l2s[node].Lookup(line) != cache.Invalid
+	e := s.dir.getOrCreate(line)
+	switch e.state {
+	case dirUncached:
+		if present {
+			e.state = dirExclusive
+			e.owner = int16(node)
+			e.sharers = 0
+		} else {
+			s.dropIfUncached(e)
+		}
+	case dirShared:
+		if present {
+			e.sharers |= 1 << uint(node)
+			s.demoteToShared(node, line)
+		}
+	case dirExclusive:
+		owner := int(e.owner)
+		if owner == node {
+			// Evict-then-refill inside the quantum: exclusivity survives
+			// if the copy is back, else the entry collapses.
+			if !present {
+				e.state = dirUncached
+				s.dropIfUncached(e)
+			}
+			return
+		}
+		ost := s.l2s[owner].Lookup(line)
+		if ost == cache.Invalid {
+			// The recorded owner's copy is gone from the end-of-quantum
+			// array; ownership falls to the reader.
+			if present {
+				e.owner = int16(node)
+				e.sharers = 0
+			} else {
+				e.state = dirUncached
+				s.dropIfUncached(e)
+			}
+			return
+		}
+		if ost == cache.Modified || ost == cache.Owned {
+			s.Stats.DirtyC2C.Inc()
+			if s.cfg.Protocol == MOESI {
+				s.l2s[owner].SetState(line, cache.Owned)
+				e.state = dirOwned
+				e.owner = int16(owner)
+				e.sharers = 1 << uint(owner)
+				if present {
+					e.sharers |= 1 << uint(node)
+					s.demoteToShared(node, line)
+				}
+				return
+			}
+			s.mem.Writeback()
+		}
+		s.l2s[owner].SetState(line, cache.Shared)
+		e.state = dirShared
+		e.sharers = 1 << uint(owner)
+		if present {
+			e.sharers |= 1 << uint(node)
+			s.demoteToShared(node, line)
+		}
+		s.dropIfUncached(e)
+	case dirOwned:
+		if int(e.owner) == node {
+			return
+		}
+		s.Stats.DirtyC2C.Inc()
+		if present {
+			e.sharers |= 1 << uint(node)
+			s.demoteToShared(node, line)
+		}
+	}
+}
+
+func (s *System) applyEpochWrite(node int, line uint64) {
+	present := s.l2s[node].Lookup(line) != cache.Invalid
+	e := s.dir.getOrCreate(line)
+	// Invalidate every other recorded holder, as the serialized write
+	// would have. Inv/Ack traffic is counted only on the shared/owned
+	// paths, mirroring the serial protocol (an exclusive owner's copy is
+	// collected by the data forward already charged in the quantum).
+	switch e.state {
+	case dirShared, dirOwned:
+		for n := 0; n < s.cfg.NumNodes; n++ {
+			if n == node || e.sharers&(1<<uint(n)) == 0 {
+				continue
+			}
+			if prev := s.l2s[n].Invalidate(line); prev == cache.Modified || prev == cache.Owned {
+				s.Stats.DirtyC2C.Inc()
+			}
+			s.backInvalidate(n, line)
+			s.fabric.Send(interconnect.InvMsg, 1)
+			s.fabric.Send(interconnect.AckMsg, 1)
+			s.Stats.Invalidations.Inc()
+		}
+	case dirExclusive:
+		if owner := int(e.owner); owner != node {
+			if prev := s.l2s[owner].Invalidate(line); prev == cache.Modified {
+				s.Stats.DirtyC2C.Inc()
+			}
+			s.backInvalidate(owner, line)
+			s.Stats.Invalidations.Inc()
+		}
+	}
+	if present {
+		if s.l2s[node].Lookup(line) != cache.Modified {
+			s.l2s[node].SetState(line, cache.Modified)
+		}
+		e.state = dirExclusive
+		e.owner = int16(node)
+		e.sharers = 0
+	} else {
+		e.state = dirUncached
+		e.sharers = 0
+		s.dropIfUncached(e)
+	}
+}
+
+// applyEpochVictim is handleVictim with the L1 back-invalidation
+// dropped (it ran node-privately during the quantum) and the dirty
+// writeback accounted here, at the serialization point.
+func (s *System) applyEpochVictim(node int, line uint64, st cache.State) {
+	if e := s.dir.get(line); e != nil {
+		switch e.state {
+		case dirShared:
+			e.sharers &^= 1 << uint(node)
+			if e.sharers == 0 {
+				e.state = dirUncached
+			}
+		case dirExclusive:
+			if int(e.owner) == node {
+				e.state = dirUncached
+			}
+		case dirOwned:
+			e.sharers &^= 1 << uint(node)
+			if node == int(e.owner) {
+				if e.sharers == 0 {
+					e.state = dirUncached
+				} else {
+					e.state = dirShared
+				}
+			}
+		}
+		s.dropIfUncached(e)
+	}
+	if st == cache.Modified || st == cache.Owned {
+		s.mem.Writeback()
+	}
+}
+
+// fixupEpochLines repairs every line touched this quantum so the
+// directory exactly matches the L2 arrays before serial-path execution
+// resumes. Replay keeps the two views close, but relaxed intra-quantum
+// interleavings can leave residual disagreements (e.g. two nodes that
+// both classified an uncached fill as Exclusive); the fix-up resolves
+// each deterministically — lowest-numbered dirty holder wins ownership.
+func (s *System) fixupEpochLines(evs []epochEvent) {
+	s.epochLines = s.epochLines[:0]
+	for i := range evs {
+		s.epochLines = append(s.epochLines, evs[i].line)
+	}
+	slices.Sort(s.epochLines)
+	s.epochLines = slices.Compact(s.epochLines)
+	for _, la := range s.epochLines {
+		s.fixupLine(la)
+	}
+}
+
+func (s *System) fixupLine(la uint64) {
+	var mask uint64
+	var states [64]cache.State
+	holders := 0
+	for n := 0; n < s.cfg.NumNodes; n++ {
+		st := s.l2s[n].Lookup(la)
+		states[n] = st
+		if st != cache.Invalid {
+			mask |= 1 << uint(n)
+			holders++
+		}
+	}
+	if holders == 0 {
+		if e := s.dir.get(la); e != nil {
+			s.dir.del(e)
+		}
+		return
+	}
+	e := s.dir.getOrCreate(la)
+	if holders == 1 {
+		n := firstNode(mask)
+		switch states[n] {
+		case cache.Modified, cache.Exclusive:
+			e.state = dirExclusive
+			e.owner = int16(n)
+			e.sharers = 0
+		case cache.Owned:
+			e.state = dirOwned
+			e.owner = int16(n)
+			e.sharers = mask
+		default:
+			e.state = dirShared
+			e.sharers = mask
+		}
+		return
+	}
+	// Multiple holders: everyone degrades to Shared, except that under
+	// MOESI the lowest-numbered dirty holder keeps dirty ownership in O.
+	dirty := -1
+	for n := 0; n < s.cfg.NumNodes; n++ {
+		if states[n] == cache.Modified || states[n] == cache.Owned {
+			dirty = n
+			break
+		}
+	}
+	if s.cfg.Protocol == MOESI && dirty >= 0 {
+		for n := 0; n < s.cfg.NumNodes; n++ {
+			switch {
+			case states[n] == cache.Invalid:
+			case n == dirty:
+				if states[n] != cache.Owned {
+					s.l2s[n].SetState(la, cache.Owned)
+				}
+			case states[n] != cache.Shared:
+				s.l2s[n].SetState(la, cache.Shared)
+			}
+		}
+		e.state = dirOwned
+		e.owner = int16(dirty)
+		e.sharers = mask
+		return
+	}
+	for n := 0; n < s.cfg.NumNodes; n++ {
+		if states[n] == cache.Invalid {
+			continue
+		}
+		if states[n] == cache.Modified || states[n] == cache.Owned {
+			s.mem.Writeback()
+		}
+		if states[n] != cache.Shared {
+			s.l2s[n].SetState(la, cache.Shared)
+		}
+	}
+	e.state = dirShared
+	e.sharers = mask
+}
+
+func firstNode(mask uint64) int {
+	for n := 0; ; n++ {
+		if mask&(1<<uint(n)) != 0 {
+			return n
+		}
+	}
+}

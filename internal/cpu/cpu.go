@@ -90,6 +90,10 @@ type Core struct {
 	l1i  *cache.Cache
 	l1d  *cache.Cache
 	sys  *coherence.System
+	// mem is the active memory-system port: sys in serial mode, a
+	// node-private coherence.EpochPort while a parallel quantum runs
+	// (SetPort). Every L1 miss routes through it.
+	mem coherence.Port
 
 	memAcc float64 // fractional data-reference accumulator
 	ifCnt  int     // instructions since last I-line fetch
@@ -170,7 +174,7 @@ func New(id, node int, cfg Config, sys *coherence.System) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Core{id: id, node: node, cfg: cfg, l1i: l1i, l1d: l1d, sys: sys}
+	c := &Core{id: id, node: node, cfg: cfg, l1i: l1i, l1d: l1d, sys: sys, mem: sys}
 	sys.RegisterL1Hook(node, func(lineAddr uint64) {
 		l1i.Invalidate(lineAddr)
 		l1d.Invalidate(lineAddr)
@@ -238,9 +242,9 @@ func (c *Core) missRef(l1 *cache.Cache, lineAddr uint64, write bool) int {
 	l1.Stats.Misses.Inc()
 	var lat int
 	if write {
-		lat, _ = c.sys.Write(c.node, lineAddr)
+		lat, _ = c.mem.Write(c.node, lineAddr)
 	} else {
-		lat, _ = c.sys.Read(c.node, lineAddr)
+		lat, _ = c.mem.Read(c.node, lineAddr)
 	}
 	fill := cache.Shared
 	if write {
@@ -464,6 +468,32 @@ func (c *Core) Stall(cycles uint64) {
 func (c *Core) Idle(cycles uint64) {
 	c.Counters.Cycles.Add(cycles)
 	c.Counters.IdleCyc.Add(cycles)
+}
+
+// AdjustIdle corrects a previously charged Idle estimate by delta
+// cycles. The parallel engine charges an off-load's round trip from an
+// epoch-start estimate during the quantum and trues it up here once the
+// OS core resolves the actual execution and queuing cost at the
+// barrier. A negative delta must not exceed the estimate it corrects.
+func (c *Core) AdjustIdle(delta int64) {
+	if delta >= 0 {
+		c.Idle(uint64(delta))
+		return
+	}
+	d := uint64(-delta)
+	c.Counters.Cycles.Sub(d)
+	c.Counters.IdleCyc.Sub(d)
+}
+
+// SetPort redirects the core's L1-miss traffic to p; nil restores the
+// shared coherence system. The parallel engine installs a node-private
+// coherence.EpochPort for the duration of each quantum.
+func (c *Core) SetPort(p coherence.Port) {
+	if p == nil {
+		c.mem = c.sys
+		return
+	}
+	c.mem = p
 }
 
 // ResetStats clears core and L1 counters, preserving cache contents.

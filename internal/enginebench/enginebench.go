@@ -163,3 +163,60 @@ func DetailedRun(b *testing.B) {
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
 }
+
+// parallelConfig is DetailedRun's configuration at the parallel
+// engine's target scale: eight apache cores under the hardware
+// predictor, run through the quantum-synchronized engine.
+func parallelConfig(workers int) sim.Config {
+	cfg := detailedConfig()
+	cfg.UserCores = 8
+	cfg.MeasureInstrs = 250_000 // per core; 2M total, matching DetailedRun's budget x2
+	cfg.Parallel = sim.DefaultParallel()
+	cfg.Parallel.Workers = workers
+	return cfg
+}
+
+// ParallelRun measures end-to-end quantum-parallel throughput in
+// simulated instructions per wall second at the default worker count
+// (GOMAXPROCS). Compare against SerialMulticoreRun for the speedup.
+func ParallelRun(b *testing.B) {
+	var instrs uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.MustNew(parallelConfig(0)).Run()
+		instrs += res.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
+}
+
+// ParallelRunWorkers returns a benchmark body running the parallel
+// engine at a fixed worker count, for the per-worker scaling curve
+// `make bench-parallel` records.
+func ParallelRunWorkers(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		var instrs uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := sim.MustNew(parallelConfig(workers)).Run()
+			instrs += res.Instrs
+		}
+		b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
+	}
+}
+
+// SerialMulticoreRun is ParallelRun's reference: the identical
+// eight-core configuration on the serial detailed engine.
+func SerialMulticoreRun(b *testing.B) {
+	var instrs uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := parallelConfig(0)
+		cfg.Parallel = sim.Parallel{}
+		res := sim.MustNew(cfg).Run()
+		instrs += res.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParallelAccuracy is the acceptance check for the quantum-parallel
+// engine: on the multi-core threshold sweep, parallel mode must stay
+// within 2% normalized-IPC error of the serial detailed engine on every
+// workload class. The 2.5x wall-clock speedup target additionally needs
+// free host cores, so that assertion applies only on hosts with at
+// least four CPUs (make bench-parallel records the scaling curve either
+// way); accuracy and determinism are asserted everywhere.
+func TestParallelAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute sweep")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock assertions are meaningless under -race; run via `make accuracy-parallel`")
+	}
+	res := ParallelAccuracy(ParallelAccuracyOptions{
+		Thresholds: []int{100},
+		Seeds:      []uint64{1, 2},
+	})
+	const errTolPct = 2.0
+	for wi, name := range res.Workloads {
+		for ti, n := range res.Thresholds {
+			if e := res.ErrPct[wi][ti]; e < -errTolPct || e > errTolPct {
+				t.Errorf("%s N=%d: normalized-IPC error %+.2f%% exceeds %.1f%%",
+					name, n, e, errTolPct)
+			}
+		}
+	}
+	const speedupFloor = 2.5
+	if runtime.NumCPU() < 4 {
+		t.Logf("host has %d CPUs; %.1fx speedup floor not assertable (measured %.2fx)",
+			runtime.NumCPU(), speedupFloor, res.Speedup)
+		return
+	}
+	if res.Speedup < speedupFloor {
+		t.Errorf("speedup %.2fx below %.1fx (serial %.1fs, parallel %.1fs)",
+			res.Speedup, speedupFloor, res.SerialSecs, res.ParallelSecs)
+	}
+}
+
+func TestParallelAccuracyQuickShape(t *testing.T) {
+	res := ParallelAccuracy(ParallelAccuracyOptions{
+		Workloads:     []string{"apache"},
+		Thresholds:    []int{100},
+		Seeds:         []uint64{1},
+		Cores:         4,
+		WarmupInstrs:  50_000,
+		MeasureInstrs: 200_000,
+	})
+	if len(res.ErrPct) != 1 || len(res.ErrPct[0]) != 1 {
+		t.Fatalf("unexpected shape: %+v", res.ErrPct)
+	}
+	if len(res.MeanAbsErrPct) != 1 || len(res.MaxAbsErrPct) != 1 {
+		t.Fatal("missing row summaries")
+	}
+	if res.NormSerial[0][0] <= 0 || res.NormParallel[0][0] <= 0 {
+		t.Fatal("non-positive normalized IPC")
+	}
+	if res.Speedup <= 0 {
+		t.Fatal("speedup not measured")
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	if !strings.Contains(sb.String(), "apache") || !strings.Contains(sb.String(), "wall clock") {
+		t.Fatalf("render missing content:\n%s", sb.String())
+	}
+}

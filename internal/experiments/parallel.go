@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"runtime"
-	"sync"
 
+	"offloadsim/internal/parallel"
 	"offloadsim/internal/sim"
 )
 
@@ -25,32 +25,7 @@ func (o Options) parallelism() int {
 // runBatch executes every config concurrently and returns results in
 // input order.
 func (o Options) runBatch(cfgs []sim.Config) []sim.Result {
-	results := make([]sim.Result, len(cfgs))
-	workers := o.parallelism()
-	if workers > len(cfgs) {
-		workers = len(cfgs)
-	}
-	if workers <= 1 {
-		for i, cfg := range cfgs {
-			results[i] = o.run(cfg)
-		}
-		return results
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = o.run(cfgs[i])
-			}
-		}()
-	}
-	for i := range cfgs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return results
+	return parallel.Map(o.parallelism(), len(cfgs), func(i int) sim.Result {
+		return o.run(cfgs[i])
+	})
 }

@@ -127,3 +127,42 @@ func (f *Fabric) Reset() {
 	}
 	f.cycles.Reset()
 }
+
+// Local is a private fabric traffic accumulator. Quantum-parallel
+// execution gives each simulated core one Local so concurrent cores
+// never touch the shared counters; the deltas are merged into the
+// Fabric at the quantum barrier in fixed node order, keeping the shared
+// totals deterministic at any worker count.
+type Local struct {
+	cfg      Config
+	messages [numKinds]uint64
+	cycles   uint64
+}
+
+// NewLocal returns an accumulator with this fabric's timing.
+func (f *Fabric) NewLocal() *Local {
+	return &Local{cfg: f.cfg}
+}
+
+// Send mirrors Fabric.Send against the private counters.
+func (l *Local) Send(k MessageKind, hops int) int {
+	if hops < 1 {
+		hops = 1
+	}
+	lat := l.cfg.RouterLatency + hops*l.cfg.LinkLatency
+	l.messages[k]++
+	l.cycles += uint64(lat)
+	return lat
+}
+
+// Merge folds the accumulated deltas into the shared fabric counters
+// and clears the Local for the next quantum.
+func (f *Fabric) Merge(l *Local) {
+	for i := range l.messages {
+		if l.messages[i] != 0 {
+			f.messages[i].Add(l.messages[i])
+		}
+	}
+	f.cycles.Add(l.cycles)
+	*l = Local{cfg: l.cfg}
+}

@@ -70,3 +70,36 @@ func (m *Memory) Reset() {
 	m.reads.Reset()
 	m.writebacks.Reset()
 }
+
+// Local is a private access accumulator, the memory-side counterpart of
+// interconnect.Local: quantum-parallel cores count their fills and
+// writebacks here and merge at the barrier in fixed node order.
+type Local struct {
+	cfg        Config
+	reads      uint64
+	writebacks uint64
+}
+
+// NewLocal returns an accumulator with this memory's timing.
+func (m *Memory) NewLocal() *Local {
+	return &Local{cfg: m.cfg}
+}
+
+// Read mirrors Memory.Read against the private counters.
+func (l *Local) Read() int {
+	l.reads++
+	return l.cfg.Latency
+}
+
+// Writeback mirrors Memory.Writeback against the private counters.
+func (l *Local) Writeback() {
+	l.writebacks++
+}
+
+// Merge folds the accumulated deltas into the shared counters and
+// clears the Local for the next quantum.
+func (m *Memory) Merge(l *Local) {
+	m.reads.Add(l.reads)
+	m.writebacks.Add(l.writebacks)
+	*l = Local{cfg: l.cfg}
+}

@@ -1,0 +1,88 @@
+// Package parallel provides the deterministic fan-out primitives shared
+// by the quantum-parallel simulation engine (internal/sim), the sweep
+// tool and the experiment runners. The contract everywhere is the same:
+// work item i only touches item-private state, the assignment of items
+// to goroutines is a static function of (workers, n), and results land
+// in input order — so nothing observable depends on worker count or
+// goroutine scheduling.
+package parallel
+
+import "sync"
+
+// Resolve clamps a requested worker count to [1, n], treating 0 (and
+// negatives) as "use fallback" — callers pass GOMAXPROCS or NumCPU as
+// the fallback.
+func Resolve(workers, fallback, n int) int {
+	if workers <= 0 {
+		workers = fallback
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run invokes fn(i) for every i in [0, n), striping the indices across
+// at most workers goroutines, and returns once every invocation has
+// completed (the barrier). workers <= 1 runs inline. fn must confine
+// itself to item-private state plus read-only shared state; Run
+// provides the happens-before edge between all invocations and the
+// caller's continuation.
+func Run(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) on at most workers goroutines, feeding
+// indices through a queue so uneven item costs balance, and returns the
+// results in input order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

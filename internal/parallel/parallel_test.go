@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct{ workers, fallback, n, want int }{
+		{0, 4, 10, 4},  // zero -> fallback
+		{-3, 4, 10, 4}, // negative -> fallback
+		{8, 4, 3, 3},   // clamp to n
+		{0, 16, 2, 2},  // fallback clamped to n
+		{0, 0, 10, 1},  // degenerate fallback still yields >= 1
+		{2, 4, 10, 2},  // explicit value passes through
+		{5, 1, 0, 1},   // n == 0 still returns a sane minimum
+	}
+	for _, c := range cases {
+		if got := Resolve(c.workers, c.fallback, c.n); got != c.want {
+			t.Errorf("Resolve(%d,%d,%d) = %d, want %d", c.workers, c.fallback, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 100} {
+		const n = 37
+		var hits [n]atomic.Int64
+		Run(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d invoked %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	called := false
+	Run(4, 0, func(int) { called = true })
+	if called {
+		t.Fatal("fn invoked with n == 0")
+	}
+}
+
+func TestMapInputOrder(t *testing.T) {
+	const n = 53
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 5, 64} {
+		got := Map(workers, n, func(i int) int { return i * i })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Map results out of input order: %v", workers, got)
+		}
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	if got := Map(8, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map with n == 0 returned %v", got)
+	}
+}

@@ -22,9 +22,11 @@ type Metrics struct {
 
 	JobsSampled  atomic.Uint64 // simulations executed in interval-sampled mode
 	JobsDetailed atomic.Uint64 // simulations executed fully detailed
+	JobsParallel atomic.Uint64 // simulations executed on the parallel engine
 
-	QueueDepth  atomic.Int64 // jobs sitting in the bounded queue
-	JobsRunning atomic.Int64 // jobs currently being simulated
+	QueueDepth    atomic.Int64 // jobs sitting in the bounded queue
+	JobsRunning   atomic.Int64 // jobs currently being simulated
+	ReservedSlots atomic.Int64 // extra pool slots held by running parallel jobs
 
 	latency histogram
 }
@@ -59,8 +61,10 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("offsimd_cache_misses_total", "Submissions not present in the result cache.", m.CacheMisses.Load())
 	counter("offsimd_jobs_sampled_total", "Simulations executed in interval-sampled mode.", m.JobsSampled.Load())
 	counter("offsimd_jobs_detailed_total", "Simulations executed fully detailed.", m.JobsDetailed.Load())
+	counter("offsimd_jobs_parallel_total", "Simulations executed on the parallel engine.", m.JobsParallel.Load())
 	gauge("offsimd_queue_depth", "Jobs waiting in the bounded queue.", m.QueueDepth.Load())
 	gauge("offsimd_jobs_running", "Jobs currently being simulated.", m.JobsRunning.Load())
+	gauge("offsimd_reserved_slots", "Extra worker-pool slots held by running parallel jobs.", m.ReservedSlots.Load())
 	m.latency.writeTo(cw, "offsimd_job_latency_seconds", "Submit-to-finish job latency.")
 	return cw.n, cw.err
 }

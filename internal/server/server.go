@@ -62,6 +62,10 @@ type Server struct {
 	pending  map[string][]*job // key -> jobs awaiting one in-flight simulation
 	seq      uint64
 	draining bool
+	// reserved counts worker-pool slots held by running parallel jobs
+	// beyond their own worker, so concurrent parallel simulations cannot
+	// oversubscribe the host (see reserveSlots).
+	reserved int
 
 	wg        sync.WaitGroup
 	baseCtx   context.Context
@@ -248,6 +252,52 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// reserveSlots sizes a parallel job's engine pool against the daemon's
+// worker pool: the job's own worker is one slot, and up to Workers-1
+// additional slots are reserved from whatever the pool has free (never
+// blocking — a busy pool just clamps the job toward Workers=1). The
+// clamp cannot change the job's result, only its wall time: Workers is
+// outside the engine's determinism contract and outside the cache key.
+// Returns the extra slots held; pass to releaseSlots when done.
+func (s *Server) reserveSlots(j *job) int {
+	want := j.cfg.Parallel.Workers
+	if want <= 0 {
+		want = runtime.GOMAXPROCS(0)
+	}
+	if want > j.cfg.UserCores {
+		want = j.cfg.UserCores
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// JobsRunning already counts this job, so its base slot is spoken for.
+	free := s.opts.Workers - int(s.metrics.JobsRunning.Load()) - s.reserved
+	if free < 0 {
+		free = 0
+	}
+	extra := want - 1
+	if extra > free {
+		extra = free
+	}
+	if extra < 0 {
+		extra = 0
+	}
+	s.reserved += extra
+	s.metrics.ReservedSlots.Store(int64(s.reserved))
+	j.cfg.Parallel.Workers = 1 + extra
+	return extra
+}
+
+// releaseSlots returns extra slots taken by reserveSlots to the pool.
+func (s *Server) releaseSlots(extra int) {
+	if extra == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.reserved -= extra
+	s.metrics.ReservedSlots.Store(int64(s.reserved))
+	s.mu.Unlock()
+}
+
 // worker consumes the queue until it is closed and drained.
 func (s *Server) worker() {
 	defer s.wg.Done()
@@ -265,9 +315,13 @@ func (s *Server) execute(j *job) {
 	s.mu.Unlock()
 	s.metrics.JobsRunning.Add(1)
 	defer s.metrics.JobsRunning.Add(-1)
-	if j.cfg.Sampling.Enabled {
+	switch {
+	case j.cfg.Parallel.Enabled:
+		s.metrics.JobsParallel.Add(1)
+		defer s.releaseSlots(s.reserveSlots(j))
+	case j.cfg.Sampling.Enabled:
 		s.metrics.JobsSampled.Add(1)
-	} else {
+	default:
 		s.metrics.JobsDetailed.Add(1)
 	}
 

@@ -57,13 +57,19 @@ type JobSpec struct {
 	Seed *uint64 `json:"seed,omitempty"`
 	// Mode selects the execution engine: "detailed" (default) simulates
 	// every instruction; "sampled" runs interval sampling with
-	// functional warming at the default schedule (docs/SAMPLING.md).
-	// Sampled and detailed runs of the same spec never share a cache
-	// key.
+	// functional warming at the default schedule (docs/SAMPLING.md);
+	// "parallel" runs detailed execution on the quantum-synchronized
+	// parallel engine (docs/PARALLEL.md). No two modes of the same spec
+	// share a cache key.
 	Mode string `json:"mode,omitempty"`
 	// Replicas merges that many independent sampled replicas (requires
 	// mode "sampled"; default 1).
 	Replicas int `json:"replicas,omitempty"`
+	// Workers sizes the parallel engine's host-goroutine pool (requires
+	// mode "parallel"; 0 lets the server clamp to its free worker
+	// slots). Workers never affects results — only wall time — and is
+	// not part of the cache key.
+	Workers int `json:"workers,omitempty"`
 }
 
 // Config translates the spec into a validated simulation config. All
@@ -157,6 +163,9 @@ func (j JobSpec) Config() (sim.Config, error) {
 		if j.Replicas > 1 {
 			return sim.Config{}, fmt.Errorf("replicas %d requires mode \"sampled\"", j.Replicas)
 		}
+		if j.Workers != 0 {
+			return sim.Config{}, fmt.Errorf("workers requires mode \"parallel\"")
+		}
 	case "sampled":
 		cfg.Sampling = sim.DefaultSampling()
 		if j.Replicas < 0 {
@@ -165,8 +174,20 @@ func (j JobSpec) Config() (sim.Config, error) {
 		if j.Replicas > 0 {
 			cfg.Sampling.Replicas = j.Replicas
 		}
+		if j.Workers != 0 {
+			return sim.Config{}, fmt.Errorf("workers requires mode \"parallel\"")
+		}
+	case "parallel":
+		if j.Replicas > 1 {
+			return sim.Config{}, fmt.Errorf("replicas %d requires mode \"sampled\"", j.Replicas)
+		}
+		if j.Workers < 0 {
+			return sim.Config{}, fmt.Errorf("negative workers %d", j.Workers)
+		}
+		cfg.Parallel = sim.DefaultParallel()
+		cfg.Parallel.Workers = j.Workers
 	default:
-		return sim.Config{}, fmt.Errorf("unknown mode %q (detailed, sampled)", j.Mode)
+		return sim.Config{}, fmt.Errorf("unknown mode %q (detailed, sampled, parallel)", j.Mode)
 	}
 	if err := cfg.Validate(); err != nil {
 		return sim.Config{}, err

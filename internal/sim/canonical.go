@@ -83,6 +83,12 @@ func Canonicalize(c Config) (Config, error) {
 	if c.Sampling.Enabled && c.Sampling.WarmupTailInstrs > c.WarmupInstrs {
 		c.Sampling.WarmupTailInstrs = c.WarmupInstrs
 	}
+	// Workers only partitions work across host cores; the simulation it
+	// produces is identical at any setting (the engine's determinism
+	// contract), so it is erased from the key. Quantum stays: it changes
+	// the synchronization timing and therefore the results.
+	c.Parallel = c.Parallel.withDefaults()
+	c.Parallel.Workers = 0
 	if c.OSCoreSlots < 1 {
 		c.OSCoreSlots = 1
 	}
@@ -135,6 +141,7 @@ type canonicalForm struct {
 	Coherence      coherence.Config
 	OSCPU          *cpu.Config
 	Sampling       Sampling
+	Parallel       Parallel
 }
 
 // CanonicalKey returns a stable hex digest identifying the simulation c
@@ -169,6 +176,7 @@ func CanonicalKey(c Config) (string, error) {
 		Coherence:      cc.Coherence,
 		OSCPU:          cc.OSCPU,
 		Sampling:       cc.Sampling,
+		Parallel:       cc.Parallel,
 	}
 	raw, err := json.Marshal(form)
 	if err != nil {

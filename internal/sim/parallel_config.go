@@ -1,0 +1,71 @@
+package sim
+
+import "fmt"
+
+// Default parallel-execution parameters. The quantum trades wall-clock
+// speedup (fewer barriers) against timing fidelity: cross-core
+// coherence and migration effects are only reconciled at quantum
+// boundaries, so a longer quantum lets cores act on staler remote state
+// (docs/PARALLEL.md quantifies the error curve).
+const (
+	DefaultParallelQuantum = 1000
+)
+
+// Parallel configures quantum-synchronized parallel detailed execution
+// (Config.Parallel). The zero value disables it; an enabled block with
+// zero fields takes the documented defaults.
+//
+// In parallel mode the simulated cores are partitioned across worker
+// goroutines. Each core advances through one quantum of simulated
+// cycles against its own private state plus a frozen snapshot of the
+// shared directory, logging every cross-core interaction; at the
+// quantum barrier a serial reconciliation pass applies the merged logs
+// in a fixed deterministic order. Results are NOT bit-identical to
+// serial detailed mode (the relaxed synchronization is a modelling
+// approximation, accuracy-gated like sampling), but they ARE
+// byte-identical run-to-run at any GOMAXPROCS and any Workers setting.
+type Parallel struct {
+	// Enabled switches detailed execution from the serial engine to the
+	// quantum-synchronized parallel engine.
+	Enabled bool
+	// Quantum is the synchronization interval in simulated cycles
+	// (default 1000). Smaller quanta reconcile cross-core effects more
+	// often — less timing error, more barrier overhead.
+	Quantum uint64
+	// Workers is the number of worker goroutines the simulated cores
+	// are partitioned across (default GOMAXPROCS, resolved at run
+	// time). Workers never affects simulation results, only wall-clock
+	// time, so it is erased from the canonical configuration key.
+	Workers int
+}
+
+// DefaultParallel returns an enabled block with the default parameters.
+func DefaultParallel() Parallel {
+	return Parallel{Enabled: true}.withDefaults()
+}
+
+// withDefaults fills zero fields of an enabled block; a disabled block
+// normalizes to the zero value so serial configs canonicalize
+// identically whatever stale parallel fields they carry. Workers is
+// left as-is: 0 means "resolve to GOMAXPROCS at run time", and pinning
+// a host core count here would make canonical keys host-dependent.
+func (p Parallel) withDefaults() Parallel {
+	if !p.Enabled {
+		return Parallel{}
+	}
+	if p.Quantum == 0 {
+		p.Quantum = DefaultParallelQuantum
+	}
+	return p
+}
+
+// Validate checks an enabled block (disabled blocks are always valid).
+func (p Parallel) Validate() error {
+	if !p.Enabled {
+		return nil
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("sim: parallel workers %d < 0", p.Workers)
+	}
+	return nil
+}

@@ -83,6 +83,21 @@ type Result struct {
 	// Sampling records how an interval-sampled run was extrapolated;
 	// nil for fully detailed runs.
 	Sampling *SamplingProvenance `json:",omitempty"`
+
+	// Parallel records that detailed execution ran on the
+	// quantum-synchronized parallel engine; nil for serial runs.
+	Parallel *ParallelProvenance `json:",omitempty"`
+}
+
+// ParallelProvenance marks a Result as produced by the parallel
+// detailed engine (docs/PARALLEL.md). Workers is deliberately absent:
+// it cannot influence results, and recording it would break the
+// byte-identical-at-any-Workers contract.
+type ParallelProvenance struct {
+	// Quantum is the synchronization interval in simulated cycles.
+	Quantum uint64
+	// Quanta is the number of barriers the run executed.
+	Quanta uint64
 }
 
 // SamplingProvenance marks a Result as extrapolated from interval
@@ -197,6 +212,12 @@ func (s *Simulator) collect() Result {
 	r.Invalidations = cs.Invalidations.Value()
 	r.MemoryFills = cs.MemoryFills.Value()
 	r.MemoryWritebacks = s.sys.Memory().Writebacks()
+	if s.cfg.Parallel.Enabled {
+		r.Parallel = &ParallelProvenance{Quantum: s.cfg.Parallel.Quantum}
+		if s.par != nil {
+			r.Parallel.Quanta = s.par.quanta
+		}
+	}
 	return r
 }
 

@@ -90,6 +90,14 @@ type Config struct {
 	// enabled block take the documented defaults.
 	Sampling Sampling
 
+	// Parallel, when enabled, runs detailed execution with the
+	// quantum-synchronized parallel engine (see RunParallel and
+	// docs/PARALLEL.md). Composes with Sampling: detailed intervals run
+	// in parallel while warming stays cheap. Disabled by default;
+	// zero-valued knobs of an enabled block take the documented
+	// defaults.
+	Parallel Parallel
+
 	// Seed drives all stochastic behaviour.
 	Seed uint64
 
@@ -210,6 +218,17 @@ func (c *Config) Validate() error {
 	if c.Sampling.Enabled && c.DynamicN {
 		return fmt.Errorf("sim: Sampling cannot be combined with DynamicN")
 	}
+	if err := c.Parallel.Validate(); err != nil {
+		return err
+	}
+	// The tuner's epoch feedback reads cross-core state (pooled hit
+	// rates, the shared clock horizon) mid-run; under relaxed quantum
+	// synchronization that feedback is stale by up to a quantum per
+	// core, so the adapted thresholds would depend on the quantum. Keep
+	// the combination rejected rather than silently approximate.
+	if c.Parallel.Enabled && c.DynamicN {
+		return fmt.Errorf("sim: Parallel cannot be combined with DynamicN")
+	}
 	return nil
 }
 
@@ -255,6 +274,10 @@ type Simulator struct {
 	osCore  *cpu.Core
 	osQueue *migration.OSCore
 	osNode  int
+
+	// par is the parallel engine's runtime state (ports, event buffers,
+	// worker count), built lazily on the first parallel quantum.
+	par *parRuntime
 }
 
 // New builds a simulator from cfg.
@@ -269,6 +292,7 @@ func New(cfg Config) (*Simulator, error) {
 		cfg.Coherence = coherence.DefaultConfig()
 	}
 	cfg.Sampling = cfg.Sampling.withDefaults()
+	cfg.Parallel = cfg.Parallel.withDefaults()
 	nodes := cfg.UserCores
 	if cfg.offloadCapable() {
 		nodes++
@@ -510,6 +534,10 @@ func (s *Simulator) Run() Result {
 // cycles "in the past" of a slow server tenant). Throughput is a ratio,
 // so the extra segments do not bias per-core results.
 func (s *Simulator) runUntil(done func(*userCtx) bool) {
+	if s.cfg.Parallel.Enabled {
+		s.runUntilParallel(done)
+		return
+	}
 	for {
 		allDone := true
 		for _, u := range s.users {

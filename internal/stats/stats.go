@@ -23,6 +23,11 @@ func (c *Counter) Add(d uint64) { c.n += d }
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.n++ }
 
+// Sub decrements the counter by d. The one sanctioned use is replacing
+// an estimated charge with its resolved value (the parallel engine's
+// quantum-barrier true-up); d must not exceed the current count.
+func (c *Counter) Sub(d uint64) { c.n -= d }
+
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.n }
 

@@ -144,6 +144,28 @@ func DefaultSampling() Sampling { return sim.DefaultSampling() }
 // cfg.Sampling must be enabled.
 func RunSampled(cfg Config) (Result, SamplingReport, error) { return sample.Run(cfg) }
 
+// Parallel configures quantum-synchronized parallel detailed execution
+// (Config.Parallel): simulated cores advance one quantum concurrently
+// against private cache state, and cross-core interactions reconcile
+// serially at each barrier. Results are byte-identical run-to-run at any
+// Workers/GOMAXPROCS, but not bit-identical to the serial engine (see
+// docs/PARALLEL.md for the accuracy data).
+type Parallel = sim.Parallel
+
+// DefaultParallel returns an enabled parallel block with the default
+// quantum; Workers 0 resolves to GOMAXPROCS at run time.
+func DefaultParallel() Parallel { return sim.DefaultParallel() }
+
+// RunParallel runs cfg on the parallel detailed engine, enabling
+// cfg.Parallel with defaults if the caller left it off. Combine with
+// Config.Sampling and RunSampled to compose both accelerations.
+func RunParallel(cfg Config) (Result, error) {
+	if !cfg.Parallel.Enabled {
+		cfg.Parallel = sim.DefaultParallel()
+	}
+	return Run(cfg)
+}
+
 // Workloads returns all modeled benchmark profiles: apache, specjbb and
 // derby (servers), plus the six-member compute group.
 func Workloads() []*Workload { return workloads.All() }
