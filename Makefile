@@ -8,9 +8,9 @@ GO ?= go
 
 .PHONY: ci fmt vet test race server-race build build-examples bench \
 	bench-json bench-engine bench-parallel accuracy accuracy-parallel \
-	golden golden-check fuzz-smoke
+	golden golden-check fuzz-smoke telemetry-overhead
 
-ci: fmt vet build-examples race golden-check fuzz-smoke accuracy accuracy-parallel
+ci: fmt vet build-examples race golden-check fuzz-smoke telemetry-overhead accuracy accuracy-parallel
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,14 @@ bench-engine:
 # cores).
 bench-parallel:
 	OFFLOADSIM_BENCH_PARALLEL=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -count=1 -v -timeout 30m .
+
+# Telemetry zero-overhead gate: the detailed engine with telemetry
+# detached must stay within 2% of the throughput recorded in
+# BENCH_engine.json — the nil-tracer checks are the only telemetry code
+# on the hot path (docs/TELEMETRY.md). Part of `make ci`. -pgo matches
+# bench-engine so the comparison is like-for-like.
+telemetry-overhead:
+	OFFLOADSIM_TELEMETRY_OVERHEAD=BENCH_engine.json $(GO) test -run '^TestTelemetryOverheadDisabled$$' -count=1 -v -pgo=default.pgo .
 
 # Byte-identical golden gate: the corpus in testdata/golden must
 # replay exactly. Part of `make ci`; a perf PR that fails this changed

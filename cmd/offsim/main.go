@@ -4,9 +4,13 @@
 //	offsim -workload apache -policy HI -n 100 -latency 100
 //	offsim -workload specjbb -policy HI -n 100 -latency 1000 -cores 4
 //	offsim -workload derby -policy DI -dynamic -latency 5000
+//	offsim -workload apache -trace run.trace.json       # Perfetto-loadable
+//	offsim -workload apache -timeseries run.csv         # interval series
 //
 // Pass -baseline-compare to also run the single-core no-off-loading
-// baseline and report normalized throughput.
+// baseline and report normalized throughput. -trace and -timeseries
+// attach the telemetry layer (docs/TELEMETRY.md) without changing the
+// measured result.
 package main
 
 import (
@@ -38,6 +42,10 @@ func main() {
 		osSlots    = flag.Int("os-slots", 1, "OS core hardware contexts (SMT extension)")
 		moesi      = flag.Bool("moesi", false, "use the MOESI coherence protocol instead of MESI")
 		osL1KB     = flag.Int("os-l1", 0, "OS core L1 size in KB (0 = same as user cores)")
+		traceFile  = flag.String("trace", "", "write a telemetry event trace of the measured phase to this file (docs/TELEMETRY.md)")
+		traceFmt   = flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable) or jsonl")
+		seriesFile = flag.String("timeseries", "", "write the interval time-series to this CSV file")
+		traceIval  = flag.Uint64("trace-interval", 50_000, "time-series sampling cadence in retired instructions (with -timeseries)")
 	)
 	flag.Parse()
 
@@ -61,6 +69,12 @@ func main() {
 	}
 	if *osL1KB < 0 {
 		fatalUsage("-os-l1 must be >= 0 KB (got %d)", *osL1KB)
+	}
+	if *traceFmt != "chrome" && *traceFmt != "jsonl" {
+		fatalUsage("-trace-format must be chrome or jsonl (got %q)", *traceFmt)
+	}
+	if *seriesFile != "" && *traceIval == 0 {
+		fatalUsage("-trace-interval must be positive with -timeseries")
 	}
 	if flag.NArg() > 0 {
 		fatalUsage("unexpected arguments: %s", strings.Join(flag.Args(), " "))
@@ -110,7 +124,23 @@ func main() {
 		cfg.Tuner = tc
 	}
 
-	res, err := offloadsim.Run(cfg)
+	var res offloadsim.Result
+	var err error
+	if *traceFile != "" || *seriesFile != "" {
+		// Telemetry is attachment-only: the traced Result is
+		// byte-identical to an untraced run of the same config.
+		opts := offloadsim.TelemetryOptions{Events: *traceFile != ""}
+		if *seriesFile != "" {
+			opts.IntervalInstrs = *traceIval
+		}
+		var capt *offloadsim.TraceCapture
+		res, capt, err = offloadsim.RunTraced(cfg, opts)
+		if err == nil {
+			err = writeTelemetry(capt, *traceFile, *traceFmt, *seriesFile)
+		}
+	} else {
+		res, err = offloadsim.Run(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "offsim: %v\n", err)
 		os.Exit(1)
@@ -153,6 +183,42 @@ func main() {
 func fatalUsage(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "offsim: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// writeTelemetry exports the capture to the requested trace and/or
+// time-series files.
+func writeTelemetry(capt *offloadsim.TraceCapture, traceFile, format, seriesFile string) error {
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		sink := offloadsim.NewChromeSink(f)
+		if format == "jsonl" {
+			sink = offloadsim.NewJSONLSink(f)
+		}
+		if err := offloadsim.ExportTrace(capt, sink); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if seriesFile != "" {
+		f, err := os.Create(seriesFile)
+		if err != nil {
+			return err
+		}
+		if err := offloadsim.WriteSeriesCSV(f, capt.Series); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func printResult(r offloadsim.Result) {

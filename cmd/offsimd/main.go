@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +39,7 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 2*time.Minute, "per-job wall-time limit (<0 disables)")
 		cacheSize    = flag.Int("cache", 4096, "result cache capacity in entries")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "max time to drain jobs on shutdown")
+		pprofOn      = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/")
 	)
 	flag.Parse()
 	if *queueSize < 1 {
@@ -64,9 +66,23 @@ func main() {
 	})
 	srv.Start()
 
+	handler := srv.Handler()
+	if *pprofOn {
+		// Opt-in only: profiles expose internals, so they never ride on
+		// the default mux an operator did not ask for.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -4,6 +4,7 @@
 //
 //	sweep -workloads apache,derby -policies HI,SI -n 50,100,1000 -latencies 100,5000 -format csv
 //	sweep -workloads apache -policies HI -n 100 -latencies 100 -format json -energy
+//	sweep -workloads apache -n 100,1000 -telemetry-dir ts/   # per-point interval CSVs
 //
 // Every row is one deterministic simulation; rows also carry normalized
 // throughput against the matching single-core baseline, which the tool
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -59,6 +61,8 @@ func main() {
 		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "host goroutines running sweep points concurrently (results are order- and count-independent)")
 		cpuProfile    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (pprof format)")
 		memProfile    = flag.String("memprofile", "", "write an end-of-sweep heap profile to this file (pprof format)")
+		telemetryDir  = flag.String("telemetry-dir", "", "write a per-point interval time-series CSV into this directory (docs/TELEMETRY.md; incompatible with -sampled)")
+		telemetryIval = flag.Uint64("telemetry-interval", 50_000, "time-series sampling cadence in retired instructions (with -telemetry-dir)")
 	)
 	flag.Parse()
 
@@ -93,6 +97,17 @@ func main() {
 	}
 	if *workers < 1 {
 		fail("-workers must be >= 1")
+	}
+	if *telemetryDir != "" && *sampled {
+		fail("-telemetry-dir requires cycle-accurate execution (incompatible with -sampled)")
+	}
+	if *telemetryDir != "" && *telemetryIval == 0 {
+		fail("-telemetry-interval must be positive with -telemetry-dir")
+	}
+	if *telemetryDir != "" {
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			fail("creating -telemetry-dir: " + err.Error())
+		}
 	}
 
 	// Profiling hooks: a sweep is the natural harness for profiling the
@@ -199,6 +214,22 @@ func main() {
 		cfg.Policy = p.kind
 		cfg.Threshold = p.n
 		cfg.Migration = offloadsim.CustomMigration(p.lat)
+		if *telemetryDir != "" {
+			// Telemetry is attachment-only, so the traced rows are
+			// byte-identical to an untraced sweep of the same grid; the
+			// per-point CSV rides along for free. Points write distinct
+			// files, so the fan-out needs no coordination.
+			if *parEngine {
+				cfg.Parallel = offloadsim.DefaultParallel()
+				cfg.Parallel.Workers = 1
+			}
+			res, capt, err := offloadsim.RunTraced(cfg,
+				offloadsim.TelemetryOptions{IntervalInstrs: *telemetryIval})
+			if err == nil {
+				err = writeSeries(*telemetryDir, p.wl, res.Policy, p.n, p.lat, capt.Series)
+			}
+			return outcome{res, err}
+		}
 		res, err := runOne(cfg)
 		return outcome{res, err}
 	})
@@ -263,6 +294,20 @@ func writeCSV(rows []Row, energy bool) {
 		}
 		fmt.Println()
 	}
+}
+
+// writeSeries stores one sweep point's interval time-series under the
+// canonical per-point file name.
+func writeSeries(dir, workload, policy string, n, lat int, series []offloadsim.TraceIntervalPoint) error {
+	f, err := os.Create(filepath.Join(dir, offloadsim.SeriesFileName(workload, policy, n, lat)))
+	if err != nil {
+		return err
+	}
+	if err := offloadsim.WriteSeriesCSV(f, series); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func splitList(s string) []string {

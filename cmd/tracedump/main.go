@@ -5,10 +5,13 @@
 //	tracedump -summary -file apache.trc
 //	tracedump -replay  -file apache.trc -n 500
 //	tracedump -replay  -file apache.trc -n 500 -dm -entries 1500
+//	tracedump -convert -file run.jsonl -out run.trace.json
 //
 // Captured traces decouple predictor studies from the timing simulator:
 // the same stream can be replayed through either predictor organization
 // at any threshold, and the decision accuracy compared offline.
+// -convert turns a telemetry JSONL export (offsim -trace-format jsonl,
+// offsimd /v1/traces) into a Perfetto-loadable Chrome trace.
 package main
 
 import (
@@ -31,7 +34,9 @@ func main() {
 		capture  = flag.Bool("capture", false, "capture a new trace from a workload")
 		summary  = flag.Bool("summary", false, "summarize a trace's composition")
 		replay   = flag.Bool("replay", false, "replay a trace through a run-length predictor")
+		convert  = flag.Bool("convert", false, "convert a telemetry JSONL export to a Chrome trace")
 		file     = flag.String("file", "", "trace file path")
+		out      = flag.String("out", "", "output path for -convert")
 		workload = flag.String("workload", "apache", "workload to capture: "+strings.Join(offloadsim.WorkloadNames(), ", "))
 		instrs   = flag.Uint64("instrs", 5_000_000, "instructions to capture")
 		seed     = flag.Uint64("seed", 1, "capture seed")
@@ -43,7 +48,7 @@ func main() {
 
 	// Validate the whole invocation up front: a bad flag combination
 	// should fail fast with usage, never after minutes of capture work.
-	if err := validateFlags(*capture, *summary, *replay, *file, *n, *entries, *instrs); err != nil {
+	if err := validateFlags(*capture, *summary, *replay, *convert, *file, *out, *n, *entries, *instrs); err != nil {
 		fail(err.Error())
 	}
 
@@ -54,26 +59,34 @@ func main() {
 		doSummary(*file)
 	case *replay:
 		doReplay(*file, *n, *dm, *entries)
+	case *convert:
+		doConvert(*file, *out)
 	}
 }
 
 // validateFlags checks the mode selection and every numeric flag before
 // any work starts. Exactly one mode flag must be set.
-func validateFlags(capture, summary, replay bool, file string, n, entries int, instrs uint64) error {
+func validateFlags(capture, summary, replay, convert bool, file, out string, n, entries int, instrs uint64) error {
 	modes := 0
-	for _, on := range []bool{capture, summary, replay} {
+	for _, on := range []bool{capture, summary, replay, convert} {
 		if on {
 			modes++
 		}
 	}
 	if modes == 0 {
-		return fmt.Errorf("one of -capture, -summary, -replay is required")
+		return fmt.Errorf("one of -capture, -summary, -replay, -convert is required")
 	}
 	if modes > 1 {
-		return fmt.Errorf("-capture, -summary and -replay are mutually exclusive")
+		return fmt.Errorf("-capture, -summary, -replay and -convert are mutually exclusive")
 	}
 	if file == "" {
 		return fmt.Errorf("a -file is required")
+	}
+	if convert && out == "" {
+		return fmt.Errorf("-convert requires -out")
+	}
+	if !convert && out != "" {
+		return fmt.Errorf("-out only applies to -convert")
 	}
 	if n < 0 {
 		return fmt.Errorf("-n must be >= 0 (got %d)", n)
@@ -165,6 +178,31 @@ func doSummary(path string) {
 	for _, e := range cats {
 		fmt.Printf("  %-14s %8d instrs (%.1f%%)\n", e.name, e.n, 100*float64(e.n)/float64(s.OSInstrs))
 	}
+}
+
+func doConvert(path, out string) {
+	in, err := os.Open(path)
+	if err != nil {
+		fail(err.Error())
+	}
+	defer in.Close()
+	capt, err := offloadsim.ReadJSONLTrace(in)
+	if err != nil {
+		fail(fmt.Sprintf("reading %s: %v", path, err))
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fail(err.Error())
+	}
+	if err := offloadsim.ExportTrace(capt, offloadsim.NewChromeSink(f)); err != nil {
+		f.Close()
+		fail(fmt.Sprintf("writing %s: %v", out, err))
+	}
+	if err := f.Close(); err != nil {
+		fail(err.Error())
+	}
+	fmt.Printf("converted %d events (%s, %d cores) into %s — load it in Perfetto or chrome://tracing\n",
+		len(capt.Events), capt.Meta.Workload, capt.Meta.UserCores, out)
 }
 
 func doReplay(path string, n int, dm bool, entries int) {

@@ -4,10 +4,10 @@ import "testing"
 
 func TestValidateFlags(t *testing.T) {
 	type args struct {
-		capture, summary, replay bool
-		file                     string
-		n, entries               int
-		instrs                   uint64
+		capture, summary, replay, convert bool
+		file, out                         string
+		n, entries                        int
+		instrs                            uint64
 	}
 	ok := args{capture: true, file: "x.trc", n: 500, instrs: 1000}
 	cases := []struct {
@@ -18,10 +18,14 @@ func TestValidateFlags(t *testing.T) {
 		{"capture ok", func(a *args) {}, false},
 		{"summary ok", func(a *args) { a.capture = false; a.summary = true }, false},
 		{"replay ok", func(a *args) { a.capture = false; a.replay = true }, false},
+		{"convert ok", func(a *args) { a.capture = false; a.convert = true; a.out = "y.json" }, false},
 		{"no mode", func(a *args) { a.capture = false }, true},
 		{"two modes", func(a *args) { a.summary = true }, true},
 		{"three modes", func(a *args) { a.summary = true; a.replay = true }, true},
+		{"capture+convert", func(a *args) { a.convert = true; a.out = "y.json" }, true},
 		{"no file", func(a *args) { a.file = "" }, true},
+		{"convert without out", func(a *args) { a.capture = false; a.convert = true }, true},
+		{"out without convert", func(a *args) { a.out = "y.json" }, true},
 		{"negative n", func(a *args) { a.n = -1 }, true},
 		{"negative entries", func(a *args) { a.entries = -1500 }, true},
 		{"zero instrs", func(a *args) { a.instrs = 0 }, true},
@@ -29,7 +33,7 @@ func TestValidateFlags(t *testing.T) {
 	for _, c := range cases {
 		a := ok
 		c.mutate(&a)
-		err := validateFlags(a.capture, a.summary, a.replay, a.file, a.n, a.entries, a.instrs)
+		err := validateFlags(a.capture, a.summary, a.replay, a.convert, a.file, a.out, a.n, a.entries, a.instrs)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: err=%v, wantErr=%v", c.name, err, c.wantErr)
 		}

@@ -503,6 +503,13 @@ func (c *Core) ResetStats() {
 	c.l1d.Stats.Reset()
 }
 
+// MissCount returns the combined L1 I+D miss count — the telemetry
+// layer differences it around an off-loaded invocation to price the OS
+// core's cache warm-up.
+func (c *Core) MissCount() uint64 {
+	return c.l1i.Stats.Misses.Value() + c.l1d.Stats.Misses.Value()
+}
+
 // CalibratedCPI reports the core's current calibrated cycles-per-
 // instruction estimates for user and OS segments (zero until warming
 // calibration has seen enough detailed instructions). Diagnostic.

@@ -17,6 +17,7 @@ import (
 	"offloadsim/internal/policy"
 	"offloadsim/internal/rng"
 	"offloadsim/internal/sim"
+	"offloadsim/internal/telemetry"
 	"offloadsim/internal/trace"
 	"offloadsim/internal/workloads"
 )
@@ -159,6 +160,26 @@ func DetailedRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := sim.MustNew(detailedConfig()).Run()
+		instrs += res.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")
+}
+
+// TracedRun is DetailedRun with the telemetry layer attached — event
+// trace plus 50k-instruction interval series — measuring the enabled
+// cost of instrumentation. The disabled cost is gated separately at the
+// repository root (`make telemetry-overhead`): DetailedRun itself
+// exercises the nil-tracer fast path.
+func TracedRun(b *testing.B) {
+	var instrs uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.MustNew(detailedConfig())
+		if _, err := s.AttachTelemetry(telemetry.Options{Events: true, IntervalInstrs: 50_000}); err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run()
 		instrs += res.Instrs
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim_instrs/s")

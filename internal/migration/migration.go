@@ -123,6 +123,20 @@ func (o *OSCore) Reserve(arrival, execCycles uint64) (start, wait uint64) {
 	return start, wait
 }
 
+// Backlog counts the hardware contexts still busy at the given cycle —
+// the queue depth an off-load arriving then observes. Read-only; the
+// telemetry layer samples it before Reserve books the request.
+func (o *OSCore) Backlog(now uint64) int {
+	o.ensure()
+	n := 0
+	for _, f := range o.freeAt {
+		if f > now {
+			n++
+		}
+	}
+	return n
+}
+
 // FreeAt returns the earliest cycle at which some context becomes idle.
 func (o *OSCore) FreeAt() uint64 {
 	o.ensure()

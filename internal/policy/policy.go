@@ -99,6 +99,9 @@ type Decision struct {
 	// Predicted is the run-length estimate behind the verdict (0 when
 	// the policy does not estimate).
 	Predicted int
+	// Source says which sub-predictor produced Predicted (predictor-based
+	// policies only; zero-valued otherwise).
+	Source core.PredictionSource
 }
 
 // Policy is the per-core decision interface. Decide is consulted at every
@@ -265,7 +268,7 @@ func (p *predictorPolicy) Name() string { return p.name }
 
 func (p *predictorPolicy) Decide(seg *trace.Segment) Decision {
 	dec := p.engine.Decide(seg.AState)
-	d := Decision{Offload: dec.Offload, Overhead: p.overhead, Predicted: dec.Predicted}
+	d := Decision{Offload: dec.Offload, Overhead: p.overhead, Predicted: dec.Predicted, Source: dec.Source}
 	p.stats.record(d)
 	return d
 }

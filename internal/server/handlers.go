@@ -3,7 +3,10 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+
+	"offloadsim/internal/telemetry"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -12,6 +15,8 @@ import (
 //	                      400 invalid, 429 queue full, 503 draining
 //	GET  /v1/jobs/{id}    job status
 //	GET  /v1/results/{id} result JSON of a finished job
+//	GET  /v1/traces/{id}  telemetry trace of a finished trace job
+//	                      (?format=chrome|jsonl, default chrome)
 //	GET  /healthz         liveness (503 once draining)
 //	GET  /metrics         Prometheus text metrics
 func (s *Server) Handler() http.Handler {
@@ -19,6 +24,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -93,6 +99,48 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusConflict, apiError{Error: "job not finished: " + string(st.State)})
 	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	cap, st, ok := s.Trace(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	if !st.Traced {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "job was not submitted with \"trace\": true"})
+		return
+	}
+	switch st.State {
+	case StateDone:
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: st.Error})
+		return
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, apiError{Error: "job not finished: " + string(st.State)})
+		return
+	}
+	if cap == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no trace captured"})
+		return
+	}
+	var sink telemetry.Sink
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		// Loadable directly in Perfetto / chrome://tracing.
+		w.Header().Set("Content-Type", "application/json")
+		sink = telemetry.NewChromeSink(w)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sink = telemetry.NewJSONLSink(w)
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown format %q (chrome, jsonl)", format)})
+		return
+	}
+	// Export streams straight to the response; encoding errors past the
+	// header can only be reported by aborting the body.
+	_ = telemetry.Export(cap, sink)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -23,25 +23,47 @@ type Metrics struct {
 	JobsSampled  atomic.Uint64 // simulations executed in interval-sampled mode
 	JobsDetailed atomic.Uint64 // simulations executed fully detailed
 	JobsParallel atomic.Uint64 // simulations executed on the parallel engine
+	JobsTraced   atomic.Uint64 // simulations executed with telemetry capture
 
 	QueueDepth    atomic.Int64 // jobs sitting in the bounded queue
 	JobsRunning   atomic.Int64 // jobs currently being simulated
 	ReservedSlots atomic.Int64 // extra pool slots held by running parallel jobs
 
-	latency histogram
+	latency   histogram
+	queueWait histogram
+	simSpeed  histogram
 }
 
-// NewMetrics builds the registry with the default latency buckets.
+// NewMetrics builds the registry with the default bucket layouts.
 func NewMetrics() *Metrics {
-	return &Metrics{latency: newHistogram(
-		// Seconds; simulations span ~ms (cache hit path excluded) to
-		// minutes for large budgets.
-		[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60},
-	)}
+	return &Metrics{
+		latency: newHistogram(
+			// Seconds; simulations span ~ms (cache hit path excluded) to
+			// minutes for large budgets.
+			[]float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60},
+		),
+		queueWait: newHistogram(
+			// Seconds from submit to worker pickup: ~0 on an idle pool,
+			// bounded by job runtime × queue depth under saturation.
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60},
+		),
+		simSpeed: newHistogram(
+			// Simulated instructions per wall second; the detailed engine
+			// sits in the millions (BENCH.md), sampled mode far higher.
+			[]float64{1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 2.5e8},
+		),
+	}
 }
 
 // ObserveJobLatency records one job's submit-to-finish wall time.
 func (m *Metrics) ObserveJobLatency(seconds float64) { m.latency.observe(seconds) }
+
+// ObserveQueueWait records one job's submit-to-worker-pickup wall time.
+func (m *Metrics) ObserveQueueWait(seconds float64) { m.queueWait.observe(seconds) }
+
+// ObserveSimSpeed records one successful simulation's simulated
+// instructions per wall second.
+func (m *Metrics) ObserveSimSpeed(instrsPerSecond float64) { m.simSpeed.observe(instrsPerSecond) }
 
 // WriteTo renders the registry in the Prometheus text format.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
@@ -62,10 +84,18 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("offsimd_jobs_sampled_total", "Simulations executed in interval-sampled mode.", m.JobsSampled.Load())
 	counter("offsimd_jobs_detailed_total", "Simulations executed fully detailed.", m.JobsDetailed.Load())
 	counter("offsimd_jobs_parallel_total", "Simulations executed on the parallel engine.", m.JobsParallel.Load())
-	gauge("offsimd_queue_depth", "Jobs waiting in the bounded queue.", m.QueueDepth.Load())
+	counter("offsimd_jobs_traced_total", "Simulations executed with telemetry capture.", m.JobsTraced.Load())
+	// Canonical gauge names carry a unit suffix per the Prometheus naming
+	// conventions; the unsuffixed originals are kept as deprecated
+	// aliases so existing dashboards keep scraping.
+	gauge("offsimd_queue_depth_jobs", "Jobs waiting in the bounded queue.", m.QueueDepth.Load())
+	gauge("offsimd_queue_depth", "DEPRECATED: alias of offsimd_queue_depth_jobs.", m.QueueDepth.Load())
 	gauge("offsimd_jobs_running", "Jobs currently being simulated.", m.JobsRunning.Load())
-	gauge("offsimd_reserved_slots", "Extra worker-pool slots held by running parallel jobs.", m.ReservedSlots.Load())
+	gauge("offsimd_reserved_worker_slots", "Extra worker-pool slots held by running parallel jobs.", m.ReservedSlots.Load())
+	gauge("offsimd_reserved_slots", "DEPRECATED: alias of offsimd_reserved_worker_slots.", m.ReservedSlots.Load())
 	m.latency.writeTo(cw, "offsimd_job_latency_seconds", "Submit-to-finish job latency.")
+	m.queueWait.writeTo(cw, "offsimd_queue_wait_seconds", "Submit-to-worker-pickup queue wait.")
+	m.simSpeed.writeTo(cw, "offsimd_sim_instrs_per_second", "Simulated instructions per wall second, successful jobs only.")
 	return cw.n, cw.err
 }
 

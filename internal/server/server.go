@@ -10,6 +10,7 @@ import (
 
 	"offloadsim/internal/sample"
 	"offloadsim/internal/sim"
+	"offloadsim/internal/telemetry"
 )
 
 // Options sizes the daemon. Zero values take the documented defaults.
@@ -54,6 +55,10 @@ type Server struct {
 	// runSim is swappable for tests; defaults to sim.Run.
 	runSim func(sim.Config) (sim.Result, error)
 
+	// runTraced runs trace jobs: a detailed or parallel simulation with
+	// telemetry attached. Swappable for tests.
+	runTraced func(sim.Config, telemetry.Options) (sim.Result, *telemetry.Capture, error)
+
 	// now is swappable for tests; defaults to time.Now.
 	now func() time.Time
 
@@ -92,6 +97,18 @@ func New(opts Options) *Server {
 				return sim.Result{}, err
 			}
 			return s.Run(), nil
+		},
+		runTraced: func(c sim.Config, opts telemetry.Options) (sim.Result, *telemetry.Capture, error) {
+			s, err := sim.New(c)
+			if err != nil {
+				return sim.Result{}, nil, err
+			}
+			trc, err := s.AttachTelemetry(opts)
+			if err != nil {
+				return sim.Result{}, nil, err
+			}
+			res := s.Run()
+			return res, trc.Capture(), nil
 		},
 		now:     time.Now,
 		jobs:    make(map[string]*job),
@@ -139,9 +156,28 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		key:         key,
 		spec:        spec,
 		cfg:         cfg,
+		trace:       spec.Trace,
 		state:       StateQueued,
 		submittedAt: s.now(),
 		done:        make(chan struct{}),
+	}
+
+	if j.trace {
+		// A trace job must actually simulate: a cached result document
+		// has no event timeline, and a coalesced waiter would inherit a
+		// result without one. It bypasses the cache-hit and coalescing
+		// paths entirely (and never registers under pending, so identical
+		// untraced jobs coalesce among themselves as usual), but its
+		// result still back-fills the shared cache on completion.
+		if !s.queue.tryPush(j) {
+			s.metrics.JobsRejected.Add(1)
+			return JobStatus{}, ErrQueueFull
+		}
+		s.jobs[j.id] = j
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.CacheMisses.Add(1)
+		s.metrics.QueueDepth.Add(1)
+		return j.status(), nil
 	}
 
 	if res, ok := s.cache.get(key); ok {
@@ -199,6 +235,20 @@ func (s *Server) Result(id string) ([]byte, JobStatus, bool) {
 		return nil, JobStatus{}, false
 	}
 	return j.result, j.status(), true
+}
+
+// Trace returns the telemetry capture of a finished trace job. The
+// boolean reports whether the job exists; a nil capture with a true
+// boolean means the job captured no trace (not a trace job, still in
+// flight, or failed).
+func (s *Server) Trace(id string) (*telemetry.Capture, JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, false
+	}
+	return j.capture, j.status(), true
 }
 
 // Wait blocks until job id finishes or ctx expires.
@@ -313,6 +363,7 @@ func (s *Server) execute(j *job) {
 	j.state = StateRunning
 	j.startedAt = s.now()
 	s.mu.Unlock()
+	s.metrics.ObserveQueueWait(j.startedAt.Sub(j.submittedAt).Seconds())
 	s.metrics.JobsRunning.Add(1)
 	defer s.metrics.JobsRunning.Add(-1)
 	switch {
@@ -324,6 +375,9 @@ func (s *Server) execute(j *job) {
 	default:
 		s.metrics.JobsDetailed.Add(1)
 	}
+	if j.trace {
+		s.metrics.JobsTraced.Add(1)
+	}
 
 	ctx := s.baseCtx
 	if s.opts.JobTimeout > 0 {
@@ -334,20 +388,28 @@ func (s *Server) execute(j *job) {
 
 	type outcome struct {
 		res sim.Result
+		cap *telemetry.Capture
 		err error
 	}
 	if ctx.Err() != nil {
 		// Forced shutdown already fired: fail without spawning work.
-		s.finishJob(j, nil, fmt.Sprintf("job aborted: %v", ctx.Err()))
+		s.finishJob(j, nil, nil, fmt.Sprintf("job aborted: %v", ctx.Err()))
 		return
 	}
+	simStart := s.now()
 	ch := make(chan outcome, 1)
 	go func() {
+		if j.trace {
+			res, cap, err := s.runTraced(j.cfg, j.telemetryOpts())
+			ch <- outcome{res, cap, err}
+			return
+		}
 		res, err := s.runSim(j.cfg)
-		ch <- outcome{res, err}
+		ch <- outcome{res, nil, err}
 	}()
 
 	var resBytes []byte
+	var capture *telemetry.Capture
 	var errMsg string
 	select {
 	case out := <-ch:
@@ -357,6 +419,10 @@ func (s *Server) execute(j *job) {
 			errMsg = fmt.Sprintf("encoding result: %v", err)
 		} else {
 			resBytes = b
+			capture = out.cap
+			if wall := s.now().Sub(simStart).Seconds(); wall > 0 {
+				s.metrics.ObserveSimSpeed(float64(out.res.Instrs) / wall)
+			}
 		}
 	case <-ctx.Done():
 		// The simulation goroutine cannot be interrupted mid-run; it is
@@ -364,22 +430,29 @@ func (s *Server) execute(j *job) {
 		errMsg = fmt.Sprintf("job aborted: %v", ctx.Err())
 	}
 
-	s.finishJob(j, resBytes, errMsg)
+	s.finishJob(j, resBytes, capture, errMsg)
 }
 
 // finishJob caches a successful result and completes the job plus every
-// waiter coalesced behind its key.
-func (s *Server) finishJob(j *job, resBytes []byte, errMsg string) {
+// waiter coalesced behind its key. Trace jobs never registered under
+// pending, so they complete only themselves — but their result (which
+// telemetry cannot have perturbed) still back-fills the cache.
+func (s *Server) finishJob(j *job, resBytes []byte, capture *telemetry.Capture, errMsg string) {
 	if errMsg == "" {
 		s.cache.put(j.key, resBytes)
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.trace {
+		j.capture = capture
+		s.completeLocked(j, resBytes, errMsg)
+		return
+	}
 	waiters := s.pending[j.key]
 	delete(s.pending, j.key)
 	for _, w := range waiters {
 		s.completeLocked(w, resBytes, errMsg)
 	}
-	s.mu.Unlock()
 }
 
 // completeLocked finishes one job. Caller holds s.mu.

@@ -18,6 +18,7 @@ import (
 	"offloadsim/internal/migration"
 	"offloadsim/internal/policy"
 	"offloadsim/internal/sim"
+	"offloadsim/internal/telemetry"
 	"offloadsim/internal/workloads"
 )
 
@@ -70,6 +71,16 @@ type JobSpec struct {
 	// slots). Workers never affects results — only wall time — and is
 	// not part of the cache key.
 	Workers int `json:"workers,omitempty"`
+	// Trace captures a telemetry event trace alongside the result
+	// (docs/TELEMETRY.md), retrievable from GET /v1/traces/{id}. Requires
+	// mode detailed or parallel. Tracing never changes the result — the
+	// job still populates the shared cache — but a trace job always runs
+	// its own simulation (no cache hit, no coalescing), because a cached
+	// result document carries no event timeline.
+	Trace bool `json:"trace,omitempty"`
+	// TraceIntervalInstrs additionally samples the interval time-series
+	// every that many retired instructions (requires trace).
+	TraceIntervalInstrs uint64 `json:"trace_interval_instrs,omitempty"`
 }
 
 // Config translates the spec into a validated simulation config. All
@@ -189,6 +200,13 @@ func (j JobSpec) Config() (sim.Config, error) {
 	default:
 		return sim.Config{}, fmt.Errorf("unknown mode %q (detailed, sampled, parallel)", j.Mode)
 	}
+	if j.Trace && cfg.Sampling.Enabled {
+		return sim.Config{}, fmt.Errorf("trace requires mode \"detailed\" or \"parallel\" " +
+			"(sampled mode has no cycle-accurate timeline)")
+	}
+	if j.TraceIntervalInstrs > 0 && !j.Trace {
+		return sim.Config{}, fmt.Errorf("trace_interval_instrs requires trace")
+	}
 	if err := cfg.Validate(); err != nil {
 		return sim.Config{}, err
 	}
@@ -220,8 +238,11 @@ type JobStatus struct {
 	Cached bool `json:"cached"`
 	// Coalesced is true when the job attached to an identical in-flight
 	// job instead of enqueueing its own simulation.
-	Coalesced bool   `json:"coalesced,omitempty"`
-	Error     string `json:"error,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Traced is true when the job captures a telemetry trace; once done,
+	// the trace is served by GET /v1/traces/{id}.
+	Traced bool   `json:"traced,omitempty"`
+	Error  string `json:"error,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -241,14 +262,23 @@ type job struct {
 	state     State
 	cached    bool
 	coalesced bool
+	trace     bool
 	err       string
-	result    []byte // marshaled Result JSON, byte-identical across cache hits
+	result    []byte             // marshaled Result JSON, byte-identical across cache hits
+	capture   *telemetry.Capture // trace jobs only, set at completion
 
 	submittedAt time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
 
 	done chan struct{}
+}
+
+// telemetryOpts shapes a trace job's spec into attachment options: the
+// event trace is always on, and the interval time-series rides along
+// when the spec asked for a cadence.
+func (j *job) telemetryOpts() telemetry.Options {
+	return telemetry.Options{Events: true, IntervalInstrs: j.spec.TraceIntervalInstrs}
 }
 
 // status snapshots the job. Caller must hold the server mutex.
@@ -259,6 +289,7 @@ func (j *job) status() JobStatus {
 		State:       j.state,
 		Cached:      j.cached,
 		Coalesced:   j.coalesced,
+		Traced:      j.trace,
 		Error:       j.err,
 		SubmittedAt: j.submittedAt,
 	}

@@ -93,7 +93,7 @@ func (s *Simulator) probe() intervalProbe {
 		p.osL2Acc = ol2.Stats.Accesses.Value()
 		p.osBusy = s.osQueue.BusyCycles.Value()
 		p.queueN = s.osQueue.QueueDelay.N()
-		p.queueSum = s.osQueue.QueueDelay.Mean() * float64(p.queueN)
+		p.queueSum = s.osQueue.QueueDelay.Sum()
 	}
 	cs := &s.sys.Stats
 	p.c2c = cs.C2CTransfers.Value()

@@ -148,7 +148,14 @@ func (s *Simulator) stepParallel(u *userCtx, pr *parRuntime, i int) {
 		return
 	}
 
+	entry := u.clock
 	d := u.pol.Decide(seg)
+	if u.trc != nil {
+		// Mid-quantum events carry the engine's within-quantum clock —
+		// the same estimated timeline the engine itself runs on, so the
+		// emission is deterministic at any Workers setting.
+		u.emitDecide(entry, seg, d)
+	}
 	if d.Overhead > 0 {
 		u.core.Stall(uint64(d.Overhead))
 		u.clock += uint64(d.Overhead)
@@ -177,9 +184,16 @@ func (s *Simulator) stepParallel(u *userCtx, pr *parRuntime, i int) {
 		u.core.Idle(est)
 		u.clock += est
 	} else {
-		u.clock += u.core.RunSegment(seg)
+		cycles := u.core.RunSegment(seg)
+		u.clock += cycles
+		if u.trc != nil {
+			u.emitLocalOS(seg, cycles)
+		}
 	}
 	u.pol.Observe(seg, d, seg.Instrs)
+	if u.trc != nil {
+		u.emitOutcome(seg, d)
+	}
 	u.advance(seg)
 }
 
@@ -211,8 +225,18 @@ func (s *Simulator) resolveOffloads(pr *parRuntime) {
 	oneWay := uint64(s.cfg.Migration.OneWay)
 	for i := range pr.merged {
 		ev := &pr.merged[i]
+		// Barrier-resolved telemetry: samples bracket the model's own
+		// calls, emitted serially in the same (arrival, node, seq) order
+		// as the resolution itself — so every core's ring receives its
+		// off-load events in issue order at any Workers setting.
+		var backlog int
+		var missBase uint64
+		if s.trc != nil {
+			backlog = s.osQueue.Backlog(ev.arrival)
+			missBase = s.osMisses()
+		}
 		execCycles := s.osCore.RunSegment(&ev.seg)
-		_, wait := s.osQueue.Reserve(ev.arrival, execCycles)
+		start, wait := s.osQueue.Reserve(ev.arrival, execCycles)
 		total := oneWay + wait + execCycles + oneWay
 		u := s.users[ev.node]
 		u.core.AdjustIdle(int64(total) - int64(ev.est))
@@ -220,6 +244,10 @@ func (s *Simulator) resolveOffloads(pr *parRuntime) {
 			u.clock += total - ev.est
 		} else {
 			u.clock -= ev.est - total
+		}
+		if s.trc != nil {
+			s.emitOffload(int(ev.node), &ev.seg, ev.arrival-oneWay, ev.arrival,
+				start, wait, execCycles, total, backlog, s.osMisses()-missBase)
 		}
 	}
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build;
+// its allocations would break the zero-allocation regression test.
+const raceEnabled = true

@@ -22,6 +22,7 @@ import (
 	"offloadsim/internal/policy"
 	"offloadsim/internal/rng"
 	"offloadsim/internal/syscalls"
+	"offloadsim/internal/telemetry"
 	"offloadsim/internal/trace"
 	"offloadsim/internal/workloads"
 )
@@ -264,6 +265,12 @@ type userCtx struct {
 	// seg is the in-flight segment, reused across steps so handing the
 	// policy and cores a pointer never forces a heap escape.
 	seg trace.Segment
+
+	// idx is the core's index; trc the attached tracer (nil when
+	// telemetry is off — every tracer method is nil-safe, and the step
+	// functions additionally guard their emission blocks on it).
+	idx int
+	trc *telemetry.Tracer
 }
 
 // Simulator is one configured system ready to run.
@@ -278,6 +285,10 @@ type Simulator struct {
 	// par is the parallel engine's runtime state (ports, event buffers,
 	// worker count), built lazily on the first parallel quantum.
 	par *parRuntime
+
+	// trc is the attached telemetry tracer; nil when telemetry is off
+	// (see AttachTelemetry in telemetry.go).
+	trc *telemetry.Tracer
 }
 
 // New builds a simulator from cfg.
@@ -459,7 +470,11 @@ func (s *Simulator) step(u *userCtx) {
 		return
 	}
 
+	entry := u.clock
 	d := u.pol.Decide(seg)
+	if u.trc != nil {
+		u.emitDecide(entry, seg, d)
+	}
 	if d.Overhead > 0 {
 		u.core.Stall(uint64(d.Overhead))
 		u.clock += uint64(d.Overhead)
@@ -467,17 +482,37 @@ func (s *Simulator) step(u *userCtx) {
 
 	if d.Offload && !s.cfg.InstrumentOnly && s.osCore != nil {
 		oneWay := uint64(s.cfg.Migration.OneWay)
-		arrival := u.clock + oneWay
+		dispatch := u.clock
+		arrival := dispatch + oneWay
+		// Telemetry samples are read-only and taken around — never
+		// inside — the model's own calls, so the simulated outcome is
+		// identical with tracing on or off.
+		var backlog int
+		var missBase uint64
+		if u.trc != nil {
+			backlog = s.osQueue.Backlog(arrival)
+			missBase = s.osMisses()
+		}
 		execCycles := s.osCore.RunSegment(seg)
-		_, wait := s.osQueue.Reserve(arrival, execCycles)
+		start, wait := s.osQueue.Reserve(arrival, execCycles)
 		total := oneWay + wait + execCycles + oneWay
 		u.core.Idle(total)
 		u.clock += total
+		if u.trc != nil {
+			s.emitOffload(u.idx, seg, dispatch, arrival, start, wait,
+				execCycles, total, backlog, s.osMisses()-missBase)
+		}
 	} else {
 		cycles := u.core.RunSegment(seg)
 		u.clock += cycles
+		if u.trc != nil {
+			u.emitLocalOS(seg, cycles)
+		}
 	}
 	u.pol.Observe(seg, d, seg.Instrs)
+	if u.trc != nil {
+		u.emitOutcome(seg, d)
+	}
 	u.advance(seg)
 }
 
@@ -500,6 +535,12 @@ func (u *userCtx) advance(seg *trace.Segment) {
 	u.pol.SetThreshold(u.tun.Threshold())
 	u.epochTarget = u.tun.EpochLength()
 	u.resnapshot()
+	if u.trc != nil {
+		u.trc.Emit(u.idx, telemetry.Event{
+			Time: u.clock, Kind: telemetry.KindRetune,
+			Sys: -1, Value: int64(u.tun.Threshold()),
+		})
+	}
 }
 
 func (s *Simulator) installEpochHooks() {
@@ -521,9 +562,16 @@ func (s *Simulator) Run() Result {
 	s.resetAfterWarmup()
 
 	// Measurement: run until every user core retires MeasureInstrs more.
-	s.runUntil(func(u *userCtx) bool {
-		return u.retired-u.retiredAtMeas >= s.cfg.MeasureInstrs
-	})
+	// With an interval time-series attached the window is cut into
+	// cadence sub-targets — a pure repartition of the same step sequence
+	// (see runMeasureWithSeries).
+	if s.trc.IntervalInstrs() > 0 {
+		s.runMeasureWithSeries()
+	} else {
+		s.runUntil(func(u *userCtx) bool {
+			return u.retired-u.retiredAtMeas >= s.cfg.MeasureInstrs
+		})
+	}
 	return s.collect()
 }
 
@@ -584,4 +632,6 @@ func (s *Simulator) resetAfterWarmup() {
 		s.osCore.ResetStats()
 		s.osQueue.ResetStats()
 	}
+	// Telemetry captures describe exactly the measurement window.
+	s.trc.Arm()
 }

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+
+	"offloadsim/internal/core"
+	"offloadsim/internal/policy"
+	"offloadsim/internal/stats"
+	"offloadsim/internal/telemetry"
+	"offloadsim/internal/trace"
+)
+
+// This file is the simulator side of the telemetry layer
+// (internal/telemetry, docs/TELEMETRY.md). Telemetry attaches to a built
+// Simulator rather than riding in Config: the Config is the determinism
+// and cache-key contract (sim.CanonicalKey), and observing a run must
+// not change its identity. Instrumentation is read-only — every emission
+// site samples engine state that the simulation already computed, so
+// results are byte-identical with tracing on or off, and the disabled
+// path costs one nil check per OS segment (bounded by
+// `make telemetry-overhead`).
+
+// AttachTelemetry arms tracing for the next Run. opts selects the event
+// trace and/or the interval time-series; the returned Tracer yields its
+// Capture after Run completes. Trace capture requires cycle-accurate
+// execution, so sampled mode (Config.Sampling) is rejected; the detailed
+// and parallel engines are both supported — the parallel engine emits
+// barrier-resolved off-load events in the same (time, node, seq)
+// discipline as its result reconciliation, so trace bytes stay identical
+// at any Workers setting. Attach before Run; attaching twice replaces
+// the previous tracer.
+func (s *Simulator) AttachTelemetry(opts telemetry.Options) (*telemetry.Tracer, error) {
+	if s.cfg.Sampling.Enabled {
+		return nil, fmt.Errorf("sim: telemetry requires detailed or parallel mode, not sampled " +
+			"(functional warming has no cycle-accurate timeline to trace)")
+	}
+	trc, err := telemetry.New(opts, len(s.users), s.telemetryMeta())
+	if err != nil {
+		return nil, err
+	}
+	s.trc = trc
+	for i, u := range s.users {
+		u.idx = i
+		u.trc = trc
+	}
+	return trc, nil
+}
+
+// telemetryMeta describes this simulator's run for trace headers.
+func (s *Simulator) telemetryMeta() telemetry.Meta {
+	name := s.cfg.profileFor(0).Name
+	for i := 1; i < s.cfg.UserCores; i++ {
+		if p := s.cfg.profileFor(i); p.Name != name {
+			name = "mixed"
+			break
+		}
+	}
+	return telemetry.Meta{
+		Workload:  name,
+		Policy:    s.cfg.Policy.String(),
+		Threshold: s.cfg.Threshold,
+		UserCores: s.cfg.UserCores,
+		OSCore:    s.osCore != nil,
+		Seed:      s.cfg.Seed,
+	}
+}
+
+// emitDecide records the OS entry and the policy verdict for it. entry
+// is the core clock at the privileged-mode transition, before decision
+// overhead is charged.
+func (u *userCtx) emitDecide(entry uint64, seg *trace.Segment, d policy.Decision) {
+	u.trc.Emit(u.idx, telemetry.Event{
+		Time: entry, Kind: telemetry.KindOSEntry,
+		Sys: int32(seg.Sys), Instrs: int32(seg.Instrs),
+	})
+	u.trc.Emit(u.idx, telemetry.Event{
+		Time: entry, Kind: telemetry.KindPredict,
+		Offload: d.Offload, Global: d.Source == core.GlobalPrediction,
+		Sys: int32(seg.Sys), Instrs: int32(seg.Instrs),
+		Pred: int32(d.Predicted), Cycles: uint64(d.Overhead),
+	})
+}
+
+// emitOutcome scores the decision against the retired invocation.
+func (u *userCtx) emitOutcome(seg *trace.Segment, d policy.Decision) {
+	u.trc.Emit(u.idx, telemetry.Event{
+		Time: u.clock, Kind: telemetry.KindOutcome,
+		Offload: d.Offload, Sys: int32(seg.Sys),
+		Instrs: int32(seg.Instrs), Pred: int32(d.Predicted),
+		Value: int64(seg.Instrs) - int64(d.Predicted),
+	})
+}
+
+// emitLocalOS records an invocation completing on its own user core.
+func (u *userCtx) emitLocalOS(seg *trace.Segment, cycles uint64) {
+	u.trc.Emit(u.idx, telemetry.Event{
+		Time: u.clock, Kind: telemetry.KindOSExit,
+		Sys: int32(seg.Sys), Cycles: cycles,
+	})
+}
+
+// emitOffload records one resolved off-load round trip as four events:
+// dispatch (leaving the user core), queue wait at the OS core, execution
+// on the OS core with its cache warm-up cost, and the return to the
+// issuing core. node indexes the issuing core's ring; dispatch is its
+// clock when the transfer left, and the caller has already resolved
+// start/wait/execCycles/total against the real reservation queue.
+func (s *Simulator) emitOffload(node int, seg *trace.Segment,
+	dispatch, arrival, start, wait, execCycles, total uint64, backlog int, missDelta uint64) {
+	oneWay := uint64(s.cfg.Migration.OneWay)
+	sys := int32(seg.Sys)
+	s.trc.Emit(node, telemetry.Event{
+		Time: dispatch, Kind: telemetry.KindOffloadDispatch, Sys: sys, Cycles: oneWay,
+	})
+	s.trc.Emit(node, telemetry.Event{
+		Time: arrival, Kind: telemetry.KindOffloadQueue, Sys: sys,
+		Cycles: wait, Value: int64(backlog),
+	})
+	s.trc.Emit(node, telemetry.Event{
+		Time: start, Kind: telemetry.KindOffloadExecute, Sys: sys, Cycles: execCycles,
+	})
+	s.trc.Emit(node, telemetry.Event{
+		Time: start, Kind: telemetry.KindCacheWarm, Sys: sys, Value: int64(missDelta),
+	})
+	s.trc.Emit(node, telemetry.Event{
+		Time: dispatch + total, Kind: telemetry.KindOffloadReturn, Sys: sys, Cycles: total,
+	})
+}
+
+// osMisses is the OS core's cumulative private-cache miss count (L1 I+D
+// plus its L2): the counter emitOffload differences into cache-warm-up
+// events.
+func (s *Simulator) osMisses() uint64 {
+	return s.osCore.MissCount() + s.sys.L2(s.osNode).Stats.Misses.Value()
+}
+
+// runMeasureWithSeries runs the measurement phase cut into
+// IntervalInstrs sub-targets, sampling the interval time-series at each
+// boundary. The partition cannot perturb the run: runUntil (serial and
+// parallel alike) picks which core steps independently of the done
+// predicate, so the step sequence — and therefore every result — is
+// identical to the single-target measurement loop in Run.
+func (s *Simulator) runMeasureWithSeries() {
+	cadence := s.trc.IntervalInstrs()
+	total := s.cfg.MeasureInstrs
+	for {
+		// Exit exactly when the single-target loop would: every core at
+		// total. (The interval anchor below is the *furthest* core —
+		// using it for termination too would end the run while slower
+		// cores were still short.)
+		allDone := true
+		for _, u := range s.users {
+			if u.retired-u.retiredAtMeas < total {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return
+		}
+		target := s.maxMeasured() + cadence
+		if target > total {
+			target = total
+		}
+		before := s.probe()
+		s.runUntil(func(u *userCtx) bool { return u.retired-u.retiredAtMeas >= target })
+		smp := s.sampleDelta(0, before)
+		s.trc.RecordInterval(s.intervalPoint(smp, target))
+	}
+}
+
+// intervalPoint shapes one interval's raw counter deltas into the
+// exported time-series sample.
+func (s *Simulator) intervalPoint(smp IntervalSample, endInstrs uint64) telemetry.IntervalPoint {
+	p := telemetry.IntervalPoint{
+		EndInstrs:      endInstrs,
+		Instrs:         smp.Instrs,
+		Cycles:         smp.Cycles,
+		Throughput:     smp.Throughput,
+		UserL2HitRate:  stats.Ratio(smp.UserL2Hits, smp.UserL2Accesses),
+		UserL1DHitRate: stats.Ratio(smp.UserL1DHits, smp.UserL1DAccesses),
+		OSL2HitRate:    stats.Ratio(smp.OSL2Hits, smp.OSL2Accesses),
+		OSEntries:      smp.OSEntries,
+		Offloads:       smp.Offloads,
+		LiveN:          s.users[0].pol.Threshold(),
+	}
+	if s.osQueue != nil && smp.Cycles > 0 {
+		p.OSCoreUtilization = float64(smp.OSBusyCycles) /
+			(float64(smp.Cycles) * float64(s.osQueue.Slots()))
+		p.QueueDepth = smp.QueueDelaySum / float64(smp.Cycles)
+	}
+	if smp.QueueDelayCount > 0 {
+		p.MeanQueueDelay = smp.QueueDelaySum / float64(smp.QueueDelayCount)
+	}
+	return p
+}

@@ -83,6 +83,11 @@ func (r *Running) N() uint64 { return r.n }
 // Mean returns the sample mean (0 with no samples).
 func (r *Running) Mean() float64 { return r.mean }
 
+// Sum returns the sample total, reconstructed as mean x n — bit-for-bit
+// the expression interval collectors historically computed inline, kept
+// identical so switching them to Sum() cannot move golden results.
+func (r *Running) Sum() float64 { return r.mean * float64(r.n) }
+
 // Variance returns the population variance (0 with <2 samples).
 func (r *Running) Variance() float64 {
 	if r.n < 2 {

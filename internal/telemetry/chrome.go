@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"offloadsim/internal/syscalls"
+)
+
+// ChromeSink encodes the trace in the Chrome trace-event format
+// (chrome://tracing, and loadable by Perfetto): a per-core timeline of
+// OS-execution slices, off-load round trips nesting their queue waits,
+// OS-core execution slices, threshold-N counter tracks, and cache
+// warm-up instants. Simulated cycles are written as microsecond
+// timestamps (1 cycle = 1 "µs"); the viewer's time axis reads as cycles.
+//
+// The mapping, per event kind:
+//
+//	os_exit         -> "X" slice on the issuing core (ts = completion - cost)
+//	offload_return  -> "X" round-trip slice on the issuing core
+//	offload_queue   -> "X" "queue wait" slice nested in the round trip
+//	offload_execute -> "X" slice on the OS-core row (tid = UserCores)
+//	cache_warm      -> "i" instant on the OS-core row (miss count in args)
+//	retune          -> "C" counter sample on "threshold-N core<i>" + "i" instant
+//
+// os_entry, predict and outcome records stay JSONL-only: the slices
+// above already render every OS entry, and per-decision predictor detail
+// is analysis data, not timeline data.
+type ChromeSink struct {
+	w     *bufio.Writer
+	buf   []byte
+	err   error
+	first bool
+	cores int
+}
+
+// NewChromeSink wraps w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	return &ChromeSink{w: bufio.NewWriter(w)}
+}
+
+// Begin opens the JSON document and names the process and thread rows.
+func (s *ChromeSink) Begin(meta Meta, dropped uint64) error {
+	s.first = true
+	s.cores = meta.UserCores
+	s.raw(`{"displayTimeUnit":"ms","otherData":{"workload":`)
+	s.str(meta.Workload)
+	s.raw(`,"policy":`)
+	s.str(meta.Policy)
+	s.raw(`,"time_unit":"cycle","dropped":`)
+	s.int(int64(dropped))
+	s.raw(`},"traceEvents":[`)
+	s.meta("process_name", 0, -1, "offloadsim")
+	for i := 0; i < meta.UserCores; i++ {
+		s.meta("thread_name", i, -1, "core "+strconv.Itoa(i))
+		s.meta("thread_sort_index", i, i, "")
+	}
+	if meta.OSCore {
+		s.meta("thread_name", meta.UserCores, -1, "OS core")
+		s.meta("thread_sort_index", meta.UserCores, meta.UserCores, "")
+	}
+	return s.err
+}
+
+// Event renders one trace record; kinds without a timeline mapping are
+// skipped.
+func (s *ChromeSink) Event(ev Event) error {
+	switch ev.Kind {
+	case KindOSExit:
+		s.slice(int(ev.Core), ev.Time-ev.Cycles, ev.Cycles, sysName(ev.Sys), "os-local", -1)
+	case KindOffloadReturn:
+		s.slice(int(ev.Core), ev.Time-ev.Cycles, ev.Cycles, sysName(ev.Sys)+" offload", "offload", -1)
+	case KindOffloadQueue:
+		if ev.Cycles > 0 {
+			s.slice(int(ev.Core), ev.Time, ev.Cycles, "queue wait", "offload", ev.Value)
+		}
+	case KindOffloadExecute:
+		s.slice(s.cores, ev.Time, ev.Cycles, sysName(ev.Sys), "os-core", int64(ev.Core))
+	case KindCacheWarm:
+		s.open(`"i"`, s.cores, ev.Time)
+		s.raw(`,"name":"cache warm","cat":"os-core","s":"t","args":{"misses":`)
+		s.int(ev.Value)
+		s.raw(`,"core":`)
+		s.int(int64(ev.Core))
+		s.raw(`}}`)
+	case KindRetune:
+		s.open(`"C"`, int(ev.Core), ev.Time)
+		s.raw(`,"name":"threshold-N core`)
+		s.int(int64(ev.Core))
+		s.raw(`","args":{"N":`)
+		s.int(ev.Value)
+		s.raw(`}}`)
+		s.open(`"i"`, int(ev.Core), ev.Time)
+		s.raw(`,"name":"retune N=`)
+		s.int(ev.Value)
+		s.raw(`","cat":"tuner","s":"t","args":{}}`)
+	}
+	return s.err
+}
+
+// End closes the document and flushes.
+func (s *ChromeSink) End() error {
+	s.raw("]}\n")
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// slice emits one complete ("X") event; arg >= 0 adds a source-core (or
+// backlog, for queue waits) argument.
+func (s *ChromeSink) slice(tid int, ts, dur uint64, name, cat string, arg int64) {
+	s.open(`"X"`, tid, ts)
+	s.raw(`,"dur":`)
+	s.int(int64(dur))
+	s.raw(`,"name":`)
+	s.str(name)
+	s.raw(`,"cat":"` + cat + `"`)
+	if arg >= 0 {
+		if cat == "offload" {
+			s.raw(`,"args":{"backlog":`)
+		} else {
+			s.raw(`,"args":{"core":`)
+		}
+		s.int(arg)
+		s.raw(`}`)
+	}
+	s.raw(`}`)
+}
+
+// open starts one event object with the shared ph/pid/tid/ts prefix.
+func (s *ChromeSink) open(ph string, tid int, ts uint64) {
+	if !s.first {
+		s.raw(",\n")
+	} else {
+		s.first = false
+	}
+	s.raw(`{"ph":` + ph + `,"pid":0,"tid":`)
+	s.int(int64(tid))
+	s.raw(`,"ts":`)
+	s.int(int64(ts))
+}
+
+// meta emits one "M" metadata event: a name for sortIndex < 0, a
+// sort_index otherwise.
+func (s *ChromeSink) meta(kind string, tid, sortIndex int, name string) {
+	s.open(`"M"`, tid, 0)
+	s.raw(`,"name":"` + kind + `","args":{`)
+	if sortIndex >= 0 {
+		s.raw(`"sort_index":`)
+		s.int(int64(sortIndex))
+	} else {
+		s.raw(`"name":`)
+		s.str(name)
+	}
+	s.raw(`}}`)
+}
+
+func (s *ChromeSink) raw(str string) {
+	if s.err == nil {
+		_, s.err = s.w.WriteString(str)
+	}
+}
+
+func (s *ChromeSink) int(v int64) {
+	if s.err == nil {
+		s.buf = strconv.AppendInt(s.buf[:0], v, 10)
+		_, s.err = s.w.Write(s.buf)
+	}
+}
+
+func (s *ChromeSink) str(v string) {
+	if s.err == nil {
+		s.buf = strconv.AppendQuote(s.buf[:0], v)
+		_, s.err = s.w.Write(s.buf)
+	}
+}
+
+// sysName resolves a trace record's syscall/trap id to its display name.
+func sysName(sys int32) string {
+	if sys < 0 {
+		return "os"
+	}
+	return syscalls.ID(sys).String()
+}

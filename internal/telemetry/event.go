@@ -1,0 +1,123 @@
+package telemetry
+
+import "fmt"
+
+// Kind enumerates the structured trace events the simulator emits. Each
+// kind documents which payload fields it populates; unused fields are
+// zero and omitted from the JSONL encoding.
+type Kind uint8
+
+const (
+	// KindOSEntry marks a transition to privileged mode on a user core.
+	// Time is the core clock at entry; Sys and Instrs describe the
+	// invocation.
+	KindOSEntry Kind = iota + 1
+	// KindPredict records the policy verdict for one OS entry: Pred is
+	// the predicted run length, Offload the verdict, Global whether the
+	// prediction fell back to the global average, Cycles the decision
+	// overhead charged to the user core.
+	KindPredict
+	// KindOSExit marks an OS invocation completing locally on its user
+	// core. Time is the completion clock; Cycles the execution cost.
+	KindOSExit
+	// KindOffloadDispatch marks an off-load leaving the user core. Time
+	// is the dispatch clock (after decision overhead); Cycles the
+	// one-way migration latency.
+	KindOffloadDispatch
+	// KindOffloadQueue records the reservation-queue wait at the OS
+	// core. Time is the arrival cycle, Cycles the wait endured, Value
+	// the number of OS-core contexts still busy at arrival (queue
+	// depth seen by this request).
+	KindOffloadQueue
+	// KindOffloadExecute marks the invocation executing on the OS core.
+	// Time is the execution start cycle; Cycles the execution cost.
+	KindOffloadExecute
+	// KindCacheWarm records the cache warm-up cost of one migrated
+	// invocation: Value is the number of OS-core cache misses (L1 plus
+	// private L2) suffered while executing it. Time matches the
+	// corresponding KindOffloadExecute.
+	KindCacheWarm
+	// KindOffloadReturn marks the off-load round trip completing on the
+	// issuing user core. Time is the user-core clock at return; Cycles
+	// the full round trip (out-migration, queue wait, execution,
+	// return migration).
+	KindOffloadReturn
+	// KindOutcome records the ground truth after an OS invocation
+	// retires: Instrs is the actual run length, Pred the prediction it
+	// is scored against, Value the signed error (actual - predicted),
+	// Offload the decision that was taken.
+	KindOutcome
+	// KindRetune marks a dynamic-N epoch boundary installing a new
+	// threshold on a core: Value is the threshold now live.
+	KindRetune
+
+	numKinds
+)
+
+// kindNames are the wire names used by the JSONL encoder (stable API;
+// docs/TELEMETRY.md documents them).
+var kindNames = [numKinds]string{
+	KindOSEntry:         "os_entry",
+	KindPredict:         "predict",
+	KindOSExit:          "os_exit",
+	KindOffloadDispatch: "offload_dispatch",
+	KindOffloadQueue:    "offload_queue",
+	KindOffloadExecute:  "offload_execute",
+	KindCacheWarm:       "cache_warm",
+	KindOffloadReturn:   "offload_return",
+	KindOutcome:         "outcome",
+	KindRetune:          "retune",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k > 0 && k < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindByName resolves a wire name back to its Kind; false for unknown
+// names.
+func KindByName(s string) (Kind, bool) {
+	for k := Kind(1); k < numKinds; k++ {
+		if kindNames[k] == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Event is one fixed-size trace record. Events are recorded into
+// per-core rings and merged in (Time, Core, Seq) order, which makes the
+// merged stream — and every encoding of it — a pure function of the
+// simulation configuration, independent of GOMAXPROCS and the parallel
+// engine's Workers setting.
+type Event struct {
+	// Time is the issuing core's simulated clock in cycles. Off-load
+	// events carry the timeline position of the phase they describe
+	// (arrival, execution start, return) rather than the issue clock.
+	Time uint64
+	// Core is the issuing user core index.
+	Core int32
+	// Seq is the per-core emission sequence number; it breaks ties
+	// between events of one core sharing a Time.
+	Seq  uint32
+	Kind Kind
+	// Offload carries the decision verdict (predict/outcome events).
+	Offload bool
+	// Global marks a prediction served by the global last-3 fallback
+	// instead of a confident table entry (predict events).
+	Global bool
+	// Sys is the syscall/trap identifier of the OS invocation; -1 when
+	// not applicable (retune events).
+	Sys int32
+	// Instrs is the invocation's instruction count where known.
+	Instrs int32
+	// Pred is the predicted run length (predict/outcome events).
+	Pred int32
+	// Cycles is the kind-specific duration documented on each Kind.
+	Cycles uint64
+	// Value is the kind-specific payload documented on each Kind.
+	Value int64
+}

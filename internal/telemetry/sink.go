@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sink consumes a capture's event stream. Export drives it: one Begin,
+// one Event per merged record in canonical order, one End. Encoders are
+// required to be deterministic — identical captures must produce
+// identical bytes.
+type Sink interface {
+	Begin(meta Meta, dropped uint64) error
+	Event(ev Event) error
+	End() error
+}
+
+// Export streams c through s in the canonical merged order.
+func Export(c *Capture, s Sink) error {
+	if c == nil {
+		return fmt.Errorf("telemetry: nil capture")
+	}
+	if err := s.Begin(c.Meta, c.Dropped); err != nil {
+		return err
+	}
+	for _, ev := range c.Events {
+		if err := s.Event(ev); err != nil {
+			return err
+		}
+	}
+	return s.End()
+}
+
+// JSONLSink encodes the trace as JSON Lines: a meta header line followed
+// by one object per event. The encoder is hand-rolled with a fixed field
+// order and per-kind field sets (docs/TELEMETRY.md), so the bytes are a
+// pure function of the capture.
+type JSONLSink struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Begin writes the meta header line.
+func (s *JSONLSink) Begin(meta Meta, dropped uint64) error {
+	b, err := json.Marshal(struct {
+		Meta    Meta   `json:"meta"`
+		Dropped uint64 `json:"dropped"`
+	}{meta, dropped})
+	if err != nil {
+		return err
+	}
+	s.w.Write(b)
+	return s.w.WriteByte('\n')
+}
+
+// Event writes one event line.
+func (s *JSONLSink) Event(ev Event) error {
+	b := s.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendUint(b, ev.Time, 10)
+	b = append(b, `,"core":`...)
+	b = strconv.AppendInt(b, int64(ev.Core), 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, uint64(ev.Seq), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.Sys >= 0 {
+		b = append(b, `,"sys":`...)
+		b = strconv.AppendInt(b, int64(ev.Sys), 10)
+	}
+	switch ev.Kind {
+	case KindOSEntry:
+		b = appendInstrs(b, ev)
+	case KindPredict:
+		b = appendInstrs(b, ev)
+		b = appendPred(b, ev)
+		b = appendBool(b, `,"offload":`, ev.Offload)
+		b = appendBool(b, `,"global":`, ev.Global)
+		b = appendCycles(b, ev)
+	case KindOSExit, KindOffloadDispatch, KindOffloadExecute, KindOffloadReturn:
+		b = appendCycles(b, ev)
+	case KindOffloadQueue:
+		b = appendCycles(b, ev)
+		b = appendValue(b, ev)
+	case KindCacheWarm:
+		b = appendValue(b, ev)
+	case KindOutcome:
+		b = appendInstrs(b, ev)
+		b = appendPred(b, ev)
+		b = appendBool(b, `,"offload":`, ev.Offload)
+		b = appendValue(b, ev)
+	case KindRetune:
+		b = appendValue(b, ev)
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	_, err := s.w.Write(b)
+	return err
+}
+
+// End flushes.
+func (s *JSONLSink) End() error { return s.w.Flush() }
+
+func appendInstrs(b []byte, ev Event) []byte {
+	b = append(b, `,"instrs":`...)
+	return strconv.AppendInt(b, int64(ev.Instrs), 10)
+}
+
+func appendPred(b []byte, ev Event) []byte {
+	b = append(b, `,"pred":`...)
+	return strconv.AppendInt(b, int64(ev.Pred), 10)
+}
+
+func appendCycles(b []byte, ev Event) []byte {
+	b = append(b, `,"cycles":`...)
+	return strconv.AppendUint(b, ev.Cycles, 10)
+}
+
+func appendValue(b []byte, ev Event) []byte {
+	b = append(b, `,"value":`...)
+	return strconv.AppendInt(b, ev.Value, 10)
+}
+
+func appendBool(b []byte, key string, v bool) []byte {
+	b = append(b, key...)
+	if v {
+		return append(b, "true"...)
+	}
+	return append(b, "false"...)
+}
+
+// jsonlRecord is the union wire shape one JSONL line decodes into.
+type jsonlRecord struct {
+	Meta    *Meta  `json:"meta"`
+	Dropped uint64 `json:"dropped"`
+
+	T       uint64 `json:"t"`
+	Core    int32  `json:"core"`
+	Seq     uint32 `json:"seq"`
+	Kind    string `json:"kind"`
+	Sys     *int32 `json:"sys"`
+	Instrs  int32  `json:"instrs"`
+	Pred    int32  `json:"pred"`
+	Offload bool   `json:"offload"`
+	Global  bool   `json:"global"`
+	Cycles  uint64 `json:"cycles"`
+	Value   int64  `json:"value"`
+}
+
+// ReadJSONL parses a JSONL trace back into a Capture (events only; the
+// interval series travels separately). It is the inverse of JSONLSink
+// and backs tracedump's format conversion.
+func ReadJSONL(r io.Reader) (*Capture, error) {
+	c := &Capture{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: %w", line, err)
+		}
+		if rec.Meta != nil {
+			c.Meta = *rec.Meta
+			c.Dropped = rec.Dropped
+			continue
+		}
+		kind, ok := KindByName(rec.Kind)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: unknown kind %q", line, rec.Kind)
+		}
+		sys := int32(-1)
+		if rec.Sys != nil {
+			sys = *rec.Sys
+		}
+		c.Events = append(c.Events, Event{
+			Time: rec.T, Core: rec.Core, Seq: rec.Seq, Kind: kind,
+			Offload: rec.Offload, Global: rec.Global, Sys: sys,
+			Instrs: rec.Instrs, Pred: rec.Pred, Cycles: rec.Cycles, Value: rec.Value,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading jsonl: %w", err)
+	}
+	return c, nil
+}

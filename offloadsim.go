@@ -1,6 +1,8 @@
 package offloadsim
 
 import (
+	"io"
+
 	"offloadsim/internal/coherence"
 	"offloadsim/internal/core"
 	"offloadsim/internal/cpu"
@@ -10,6 +12,7 @@ import (
 	"offloadsim/internal/policy"
 	"offloadsim/internal/sample"
 	"offloadsim/internal/sim"
+	"offloadsim/internal/telemetry"
 	"offloadsim/internal/workloads"
 )
 
@@ -164,6 +167,67 @@ func RunParallel(cfg Config) (Result, error) {
 		cfg.Parallel = sim.DefaultParallel()
 	}
 	return Run(cfg)
+}
+
+// TelemetryOptions selects what a traced run records: the structured
+// event trace (Events) and/or the interval time-series (IntervalInstrs
+// cadence). See docs/TELEMETRY.md.
+type TelemetryOptions = telemetry.Options
+
+// TraceCapture is one traced run's output: metadata, the merged event
+// timeline in deterministic (time, core, seq) order, and the interval
+// series.
+type TraceCapture = telemetry.Capture
+
+// TraceEvent is one structured simulation event.
+type TraceEvent = telemetry.Event
+
+// TraceSink consumes an exported capture (JSONL or Chrome trace-event).
+type TraceSink = telemetry.Sink
+
+// TraceIntervalPoint is one interval time-series sample.
+type TraceIntervalPoint = telemetry.IntervalPoint
+
+// RunTraced builds and runs a detailed or parallel simulation with
+// telemetry attached. Tracing never perturbs the Result: it is
+// byte-identical to an untraced Run of the same Config. Sampled mode is
+// rejected (no cycle-accurate timeline).
+func RunTraced(cfg Config, opts TelemetryOptions) (Result, *TraceCapture, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	trc, err := s.AttachTelemetry(opts)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res := s.Run()
+	return res, trc.Capture(), nil
+}
+
+// NewJSONLSink writes a capture as newline-delimited JSON: a metadata
+// header line, then one object per event in timeline order.
+func NewJSONLSink(w io.Writer) TraceSink { return telemetry.NewJSONLSink(w) }
+
+// NewChromeSink writes a capture in the Chrome trace-event format,
+// loadable directly in Perfetto or chrome://tracing.
+func NewChromeSink(w io.Writer) TraceSink { return telemetry.NewChromeSink(w) }
+
+// ExportTrace streams a capture through a sink.
+func ExportTrace(c *TraceCapture, s TraceSink) error { return telemetry.Export(c, s) }
+
+// ReadJSONLTrace parses a JSONL export back into a capture.
+func ReadJSONLTrace(r io.Reader) (*TraceCapture, error) { return telemetry.ReadJSONL(r) }
+
+// WriteSeriesCSV writes an interval time-series as CSV.
+func WriteSeriesCSV(w io.Writer, series []TraceIntervalPoint) error {
+	return telemetry.WriteSeriesCSV(w, series)
+}
+
+// SeriesFileName is the canonical per-point file name for a sweep's
+// interval time-series CSVs.
+func SeriesFileName(workload, policy string, threshold, oneWay int) string {
+	return telemetry.SeriesFileName(workload, policy, threshold, oneWay)
 }
 
 // Workloads returns all modeled benchmark profiles: apache, specjbb and
