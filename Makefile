@@ -7,10 +7,11 @@
 GO ?= go
 
 .PHONY: ci fmt vet test race server-race build build-examples bench \
-	bench-json bench-engine bench-parallel accuracy accuracy-parallel \
-	golden golden-check fuzz-smoke telemetry-overhead
+	bench-json bench-engine bench-parallel bench-cluster accuracy \
+	accuracy-parallel golden golden-check fuzz-smoke telemetry-overhead \
+	cluster-e2e
 
-ci: fmt vet build-examples race golden-check fuzz-smoke telemetry-overhead accuracy accuracy-parallel
+ci: fmt vet build-examples race golden-check fuzz-smoke telemetry-overhead cluster-e2e accuracy accuracy-parallel
 
 build:
 	$(GO) build ./...
@@ -66,6 +67,22 @@ bench-json:
 # default.pgo automatically (see docs/PERFORMANCE.md).
 bench-engine:
 	OFFLOADSIM_BENCH_ENGINE=BENCH_engine.json $(GO) test -run '^TestWriteBenchEngineJSON$$' -count=1 -v -pgo=default.pgo .
+
+# Fleet acceptance gate, part of `make ci`: the in-process 3-replica
+# tests (routing lands on the ring owner, peer cache hit instead of a
+# cross-replica recompute, stealing under induced overload, a 64-point
+# sweep streamed exactly once) plus the out-of-process run — three real
+# offsimd processes driven by the loadtest under -p95-max/-hit-min SLO
+# gates (docs/CLUSTER.md).
+cluster-e2e:
+	$(GO) test -run '^TestFleet' -count=1 -v ./internal/server/ ./cmd/offsimd/
+
+# Fleet throughput trajectory: the 64-point sweep through POST
+# /v1/sweeps on a 1-replica vs 3-replica in-process fleet, into
+# BENCH_cluster.json (records host CPU count — fan-out on one host
+# needs free cores to win).
+bench-cluster:
+	OFFLOADSIM_BENCH_CLUSTER=BENCH_cluster.json $(GO) test -run '^TestWriteBenchClusterJSON$$' -count=1 -v -timeout 30m .
 
 # Parallel-engine trajectory: serial vs quantum-parallel wall clock on
 # the 8-simulated-core configuration, swept over 1/2/4/8 workers, into

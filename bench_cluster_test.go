@@ -1,0 +1,189 @@
+// Fleet bench trajectory: `make bench-cluster`
+// (OFFLOADSIM_BENCH_CLUSTER=BENCH_cluster.json go test -run
+// TestWriteBenchClusterJSON) runs the same 64-point sweep through
+// POST /v1/sweeps against a 1-replica and a 3-replica in-process fleet
+// and records points-per-second for each. The fleets run on one host,
+// so the 3-replica number only beats the single replica when free
+// cores exist — the file records the host CPU count for that reason
+// (same convention as BENCH_parallel.json).
+package offloadsim_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"offloadsim/internal/cluster"
+	"offloadsim/internal/server"
+)
+
+// clusterBenchFile is the recorded shape of one bench-cluster run.
+type clusterBenchFile struct {
+	Description string `json:"description"`
+	HostCPUs    int    `json:"host_cpus"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Points      int    `json:"points"`
+	// WorkersPerReplica is each replica's worker-pool size (identical in
+	// both configurations; the fleet's advantage is having more pools).
+	WorkersPerReplica int `json:"workers_per_replica"`
+	// PointsPerS maps replica count -> sweep grid points per wall
+	// second, end to end through POST /v1/sweeps.
+	PointsPerS map[string]float64 `json:"sweep_points_per_sec"`
+	// Speedup is 3-replica over 1-replica throughput.
+	Speedup float64 `json:"speedup"`
+}
+
+// benchSweepBody is a 64-point grid (2 workloads x 2 policies x 4
+// thresholds x 4 latencies) with normalization off, so both
+// configurations execute exactly 64 simulations.
+const benchSweepBody = `{
+	"workloads": ["apache", "derby"],
+	"policies": ["HI", "SI"],
+	"thresholds": [50, 100, 150, 200],
+	"latencies": [50, 100, 150, 200],
+	"warmup_instrs": 0,
+	"measure_instrs": 400000,
+	"seed": 1,
+	"normalize": false,
+	"concurrency": 12
+}`
+
+// startBenchFleet boots n in-process replicas on loopback listeners and
+// returns the base URLs plus a shutdown func.
+func startBenchFleet(t *testing.T, n, workers int) ([]string, func()) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = "http://" + ln.Addr().String()
+	}
+	var stops []func()
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		mem, err := cluster.ParseMembership(addrs[i], peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(server.Options{
+			QueueSize: 256,
+			Workers:   workers,
+			Cluster:   server.ClusterOptions{Membership: mem, StealThreshold: -1},
+		})
+		srv.Start()
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func(ln net.Listener) { _ = httpSrv.Serve(ln) }(lns[i])
+		stops = append(stops, func() {
+			_ = httpSrv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+	}
+	return addrs, func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// runClusterBenchSweep POSTs the bench grid to addr and returns wall
+// time and the number of successfully streamed points.
+func runClusterBenchSweep(t *testing.T, addr string) (time.Duration, int) {
+	t.Helper()
+	start := time.Now()
+	resp, err := http.Post(addr+"/v1/sweeps", "application/json", bytes.NewReader([]byte(benchSweepBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	points := 0
+	for sc.Scan() {
+		var line struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("decoding sweep line: %v", err)
+		}
+		if line.Status == "done" {
+			points++
+		} else if line.Status == "failed" {
+			t.Fatalf("sweep point failed: %s", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return time.Since(start), points
+}
+
+// TestWriteBenchClusterJSON is the engine of `make bench-cluster`. It
+// is a no-op unless OFFLOADSIM_BENCH_CLUSTER names the output file, so
+// plain `go test` stays fast.
+func TestWriteBenchClusterJSON(t *testing.T) {
+	path := os.Getenv("OFFLOADSIM_BENCH_CLUSTER")
+	if path == "" {
+		t.Skip("set OFFLOADSIM_BENCH_CLUSTER=<file> to run the cluster bench")
+	}
+	workers := runtime.GOMAXPROCS(0) / 3
+	if workers < 1 {
+		workers = 1
+	}
+	out := clusterBenchFile{
+		Description:       "64-point sweep via POST /v1/sweeps: 1-replica vs 3-replica in-process fleet on one host",
+		HostCPUs:          runtime.NumCPU(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		WorkersPerReplica: workers,
+		PointsPerS:        map[string]float64{},
+	}
+	for _, n := range []int{1, 3} {
+		addrs, stop := startBenchFleet(t, n, workers)
+		wall, points := runClusterBenchSweep(t, addrs[0])
+		stop()
+		if out.Points == 0 {
+			out.Points = points
+		}
+		if points != out.Points {
+			t.Fatalf("%d-replica sweep streamed %d points, want %d", n, points, out.Points)
+		}
+		out.PointsPerS[fmt.Sprintf("%d", n)] = float64(points) / wall.Seconds()
+		t.Logf("%d replica(s): %d points in %v (%.1f points/s)", n, points, wall.Round(time.Millisecond), float64(points)/wall.Seconds())
+	}
+	if v := out.PointsPerS["1"]; v > 0 {
+		out.Speedup = out.PointsPerS["3"] / v
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %.1f -> %.1f points/s (%.2fx) on %d host CPUs",
+		path, out.PointsPerS["1"], out.PointsPerS["3"], out.Speedup, out.HostCPUs)
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseClusterFlags pins the up-front validation contract for the
+// fleet flags: malformed URLs, self-in-peers and duplicates are caught
+// at startup, never mid-request.
+func TestParseClusterFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		advertise string
+		peers     string
+		steal     int
+		wantErr   string // substring; empty = success
+		wantSelf  string
+		wantPeers []string
+	}{
+		{
+			name: "single replica when both flags empty",
+		},
+		{
+			name:      "fleet of three",
+			advertise: "http://10.0.0.1:8080",
+			peers:     "http://10.0.0.2:8080,http://10.0.0.3:8080",
+			wantSelf:  "http://10.0.0.1:8080",
+			wantPeers: []string{"http://10.0.0.2:8080", "http://10.0.0.3:8080"},
+		},
+		{
+			name:      "advertise without peers is a one-replica fleet",
+			advertise: "http://10.0.0.1:8080",
+			wantSelf:  "http://10.0.0.1:8080",
+		},
+		{
+			name:      "addresses are normalized before comparison",
+			advertise: "HTTP://Node-A:8080/",
+			peers:     " http://node-b:8080 ,http://node-c:8080",
+			wantSelf:  "http://node-a:8080",
+			wantPeers: []string{"http://node-b:8080", "http://node-c:8080"},
+		},
+		{
+			name:    "peers without advertise",
+			peers:   "http://10.0.0.2:8080",
+			wantErr: "-peers requires -advertise",
+		},
+		{
+			name:    "steal threshold without fleet mode",
+			steal:   4,
+			wantErr: "-steal-threshold requires fleet mode",
+		},
+		{
+			name:      "malformed advertise",
+			advertise: "10.0.0.1:8080",
+			wantErr:   "-advertise:",
+		},
+		{
+			name:      "advertise with a path",
+			advertise: "http://10.0.0.1:8080/api",
+			wantErr:   "-advertise:",
+		},
+		{
+			name:      "malformed peer",
+			advertise: "http://10.0.0.1:8080",
+			peers:     "http://10.0.0.2:8080,not a url://",
+			wantErr:   "-peers:",
+		},
+		{
+			name:      "self listed as peer",
+			advertise: "http://10.0.0.1:8080",
+			peers:     "http://10.0.0.2:8080,http://10.0.0.1:8080",
+			wantErr:   "own -advertise address",
+		},
+		{
+			name:      "self listed as peer after normalization",
+			advertise: "http://node-a:8080",
+			peers:     "HTTP://NODE-A:8080/",
+			wantErr:   "own -advertise address",
+		},
+		{
+			name:      "duplicate peer",
+			advertise: "http://10.0.0.1:8080",
+			peers:     "http://10.0.0.2:8080,http://10.0.0.2:8080",
+			wantErr:   "duplicate address",
+		},
+		{
+			name:      "peer with query string",
+			advertise: "http://10.0.0.1:8080",
+			peers:     "http://10.0.0.2:8080?x=1",
+			wantErr:   "-peers:",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts, err := parseClusterFlags(tc.advertise, tc.peers, tc.steal)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got nil (opts %+v)", tc.wantErr, opts)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if opts.Membership.Self != tc.wantSelf {
+				t.Fatalf("Self = %q, want %q", opts.Membership.Self, tc.wantSelf)
+			}
+			if len(opts.Membership.Peers) != len(tc.wantPeers) {
+				t.Fatalf("Peers = %v, want %v", opts.Membership.Peers, tc.wantPeers)
+			}
+			for i, p := range tc.wantPeers {
+				if opts.Membership.Peers[i] != p {
+					t.Fatalf("Peers[%d] = %q, want %q", i, opts.Membership.Peers[i], p)
+				}
+			}
+			if tc.advertise == "" && opts.Enabled() {
+				t.Fatal("empty flags must yield disabled cluster options")
+			}
+			if tc.advertise != "" && !opts.Enabled() {
+				t.Fatal("advertise set but cluster options disabled")
+			}
+		})
+	}
+}

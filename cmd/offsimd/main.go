@@ -14,6 +14,14 @@
 // 503 so load balancers fail over), running and queued jobs finish, then
 // the process exits. A second signal — or -drain-timeout expiring —
 // forces exit.
+//
+// -advertise plus -peers joins a static-membership fleet (docs/CLUSTER.md):
+// submissions route to their consistent-hash owner, results are served
+// from a two-tier cache, overloaded replicas shed work to idle peers,
+// and POST /v1/sweeps fans parameter grids across every replica.
+//
+//	offsimd -addr :8080 -advertise http://10.0.0.1:8080 \
+//	        -peers http://10.0.0.2:8080,http://10.0.0.3:8080
 package main
 
 import (
@@ -25,9 +33,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"offloadsim/internal/cluster"
 	"offloadsim/internal/server"
 )
 
@@ -40,6 +50,9 @@ func main() {
 		cacheSize    = flag.Int("cache", 4096, "result cache capacity in entries")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "max time to drain jobs on shutdown")
 		pprofOn      = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/")
+		advertise    = flag.String("advertise", "", "this replica's base URL as peers reach it (enables fleet mode)")
+		peersFlag    = flag.String("peers", "", "comma-separated peer base URLs (requires -advertise)")
+		stealThresh  = flag.Int("steal-threshold", 0, "queue depth that triggers work-stealing (0 = default, <0 disables)")
 	)
 	flag.Parse()
 	if *queueSize < 1 {
@@ -57,12 +70,17 @@ func main() {
 	if flag.NArg() > 0 {
 		fatalUsage("offsimd: unexpected arguments: %v", flag.Args())
 	}
+	clusterOpts, err := parseClusterFlags(*advertise, *peersFlag, *stealThresh)
+	if err != nil {
+		fatalUsage("offsimd: %v", err)
+	}
 
 	srv := server.New(server.Options{
 		QueueSize:    *queueSize,
 		Workers:      *workers,
 		JobTimeout:   *jobTimeout,
 		CacheEntries: *cacheSize,
+		Cluster:      clusterOpts,
 	})
 	srv.Start()
 
@@ -93,6 +111,10 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("offsimd: listening on %s (queue=%d workers=%d cache=%d)",
 		*addr, *queueSize, *workers, *cacheSize)
+	if clusterOpts.Enabled() {
+		log.Printf("offsimd: fleet mode: advertising %s with %d peer(s)",
+			clusterOpts.Membership.Self, len(clusterOpts.Membership.Peers))
+	}
 
 	select {
 	case err := <-errCh:
@@ -112,6 +134,33 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("offsimd: drained cleanly")
+}
+
+// parseClusterFlags validates the fleet flags up front — malformed
+// URLs, a replica listed as its own peer, and duplicate peers are all
+// rejected before the server binds a socket. Single-replica operation
+// (no -advertise, no -peers) returns the zero options.
+func parseClusterFlags(advertise, peers string, stealThreshold int) (server.ClusterOptions, error) {
+	var peerList []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if advertise == "" {
+		if len(peerList) > 0 {
+			return server.ClusterOptions{}, fmt.Errorf("-peers requires -advertise (peers must know how to reach this replica)")
+		}
+		if stealThreshold != 0 {
+			return server.ClusterOptions{}, fmt.Errorf("-steal-threshold requires fleet mode (-advertise)")
+		}
+		return server.ClusterOptions{}, nil
+	}
+	mem, err := cluster.ParseMembership(advertise, peerList)
+	if err != nil {
+		return server.ClusterOptions{}, err
+	}
+	return server.ClusterOptions{Membership: mem, StealThreshold: stealThreshold}, nil
 }
 
 func fatalUsage(format string, args ...any) {

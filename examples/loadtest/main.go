@@ -1,13 +1,32 @@
-// Command loadtest fires K concurrent job submissions at a running
-// offsimd and reports latency percentiles, the cache-hit ratio and how
-// much backpressure (429) the daemon pushed back. It doubles as a smoke
-// test for the serving path:
+// Command loadtest drives a running offsimd — one replica or a whole
+// fleet — and reports latency percentiles, the fleet-wide cache-hit
+// ratio and the work-steal rate. It doubles as the serving-path SLO
+// gate: -p95-max and -hit-min turn the report into a non-zero exit
+// when the daemon misses its targets.
+//
+// Two arrival disciplines:
+//
+//	-arrival closed  (default) K submitters in a closed loop: each waits
+//	                 for its job to finish before submitting the next.
+//	                 -jobs bounds the total.
+//	-arrival open    Poisson-less fixed-rate arrivals: -rate jobs/s for
+//	                 -duration, regardless of completions (finds the
+//	                 saturation knee).
+//
+// Examples:
 //
 //	go run ./cmd/offsimd -addr :8080 &
-//	go run ./examples/loadtest -addr http://localhost:8080 -k 16 -jobs 96
+//	go run ./examples/loadtest -addrs http://localhost:8080 -k 16 -jobs 96
+//
+//	# 3-replica fleet with SLO gates:
+//	go run ./examples/loadtest \
+//	    -addrs http://localhost:8080,http://localhost:8081,http://localhost:8082 \
+//	    -jobs 120 -p95-max 5s -hit-min 0.5
 //
 // Specs are drawn from a small sweep grid with deliberate repeats, so a
-// healthy run shows a rising cache-hit ratio as the grid fills in.
+// healthy run shows a rising cache-hit ratio as the grid fills in. In a
+// fleet, submissions round-robin across replicas and each job is polled
+// at the replica the status document names — the one that owns it.
 package main
 
 import (
@@ -16,10 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,92 +56,179 @@ type jobSpec struct {
 }
 
 type jobStatus struct {
-	ID     string `json:"id"`
-	State  string `json:"state"`
-	Cached bool   `json:"cached"`
-	Error  string `json:"error,omitempty"`
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Cached  bool   `json:"cached"`
+	Stolen  bool   `json:"stolen"`
+	Replica string `json:"replica"`
+	Error   string `json:"error,omitempty"`
 }
 
 type sample struct {
 	latency time.Duration
 	cached  bool
+	stolen  bool
+}
+
+// fleetCounters are the /metrics series the report aggregates across
+// replicas (deltas over the run).
+type fleetCounters struct {
+	submitted float64
+	hits      float64
+	peerHits  float64
+	stolen    float64
 }
 
 func main() {
 	var (
-		addr    = flag.String("addr", "http://localhost:8080", "offsimd base URL")
-		k       = flag.Int("k", 16, "concurrent submitters")
-		jobs    = flag.Int("jobs", 96, "total submissions")
-		measure = flag.Uint64("measure", 200_000, "measured instructions per job")
-		seeds   = flag.Uint64("seeds", 4, "distinct seeds per grid point (controls repeat rate)")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-job completion deadline")
+		addrsFlag = flag.String("addrs", "http://localhost:8080", "comma-separated offsimd base URLs (one per replica)")
+		arrival   = flag.String("arrival", "closed", "arrival discipline: closed or open")
+		k         = flag.Int("k", 16, "concurrent submitters (closed arrivals)")
+		jobs      = flag.Int("jobs", 96, "total submissions (closed arrivals)")
+		rate      = flag.Float64("rate", 20, "arrivals per second (open arrivals)")
+		duration  = flag.Duration("duration", 10*time.Second, "run length (open arrivals)")
+		measure   = flag.Uint64("measure", 200_000, "measured instructions per job")
+		seeds     = flag.Uint64("seeds", 4, "distinct seeds per grid point (controls repeat rate)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-job completion deadline")
+		p95Max    = flag.Duration("p95-max", 0, "SLO: exit non-zero if p95 latency exceeds this (0 disables)")
+		hitMin    = flag.Float64("hit-min", -1, "SLO: exit non-zero if the fleet cache-hit ratio falls below this fraction (<0 disables)")
 	)
 	flag.Parse()
 	if *k < 1 || *jobs < 1 || *seeds < 1 || *measure == 0 {
 		fmt.Fprintln(os.Stderr, "loadtest: -k, -jobs, -seeds must be >= 1 and -measure positive")
 		os.Exit(2)
 	}
+	if *arrival != "closed" && *arrival != "open" {
+		fmt.Fprintf(os.Stderr, "loadtest: -arrival must be \"closed\" or \"open\" (got %q)\n", *arrival)
+		os.Exit(2)
+	}
+	if *arrival == "open" && (*rate <= 0 || *duration <= 0) {
+		fmt.Fprintln(os.Stderr, "loadtest: open arrivals need -rate > 0 and -duration > 0")
+		os.Exit(2)
+	}
+	var addrs []string
+	for _, a := range strings.Split(*addrsFlag, ",") {
+		if a = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(a), "/")); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: -addrs must name at least one replica")
+		os.Exit(2)
+	}
 
-	// A small grid with repeats: workloads x thresholds x seeds.
-	workloads := []string{"apache", "specjbb", "derby"}
-	thresholds := []int{100, 1000}
+	// A small grid with repeats: workloads x thresholds x seeds, walked
+	// by job index so runs are reproducible.
+	type gridPoint struct {
+		workload  string
+		threshold int
+		seed      uint64
+	}
+	var grid []gridPoint
+	for _, wl := range []string{"apache", "specjbb", "derby"} {
+		for _, thr := range []int{100, 1000} {
+			for s := uint64(1); s <= *seeds; s++ {
+				grid = append(grid, gridPoint{wl, thr, s})
+			}
+		}
+	}
 	latency := 100
+	specFor := func(i int) jobSpec {
+		g := grid[i%len(grid)]
+		thr := g.threshold
+		return jobSpec{
+			Workload:      g.workload,
+			Policy:        "HI",
+			Threshold:     &thr,
+			LatencyCycles: &latency,
+			WarmupInstrs:  0,
+			MeasureInstrs: *measure,
+			Seed:          g.seed,
+		}
+	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
+	before := scrapeFleet(client, addrs)
+
 	var (
 		mu       sync.Mutex
 		samples  []sample
 		rejected atomic.Int64
 		failed   atomic.Int64
 	)
-	work := make(chan int)
-	var wg sync.WaitGroup
+	runJob := func(i int) {
+		s, err := runOne(client, addrs[i%len(addrs)], specFor(i), *timeout, &rejected)
+		if err != nil {
+			failed.Add(1)
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			return
+		}
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
 	start := time.Now()
-	for w := 0; w < *k; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w) + 1))
-			for range work {
-				spec := jobSpec{
-					Workload:      workloads[rng.Intn(len(workloads))],
-					Policy:        "HI",
-					WarmupInstrs:  0,
-					MeasureInstrs: *measure,
-					Seed:          uint64(rng.Int63n(int64(*seeds))) + 1,
+	var total int
+	switch *arrival {
+	case "closed":
+		total = *jobs
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < *k; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					runJob(i)
 				}
-				thr := thresholds[rng.Intn(len(thresholds))]
-				spec.Threshold = &thr
-				spec.LatencyCycles = &latency
-				s, err := runOne(client, *addr, spec, *timeout, &rejected)
-				if err != nil {
-					failed.Add(1)
-					fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
-					continue
-				}
-				mu.Lock()
-				samples = append(samples, s)
-				mu.Unlock()
+			}()
+		}
+		for i := 0; i < *jobs; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	case "open":
+		// Fixed-rate arrivals: fire every 1/rate regardless of how many
+		// jobs are still in flight, for -duration.
+		interval := time.Duration(float64(time.Second) / *rate)
+		var wg sync.WaitGroup
+		tick := time.NewTicker(interval)
+		stop := time.After(*duration)
+	arrivals:
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				break arrivals
+			case <-tick.C:
+				total++
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					runJob(i)
+				}(i)
 			}
-		}(w)
+		}
+		tick.Stop()
+		wg.Wait()
 	}
-	for i := 0; i < *jobs; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
 	wall := time.Since(start)
+	after := scrapeFleet(client, addrs)
 
 	if len(samples) == 0 {
 		fmt.Fprintln(os.Stderr, "loadtest: no job completed")
 		os.Exit(1)
 	}
 	lats := make([]time.Duration, len(samples))
-	hits := 0
+	clientHits, clientStolen := 0, 0
 	for i, s := range samples {
 		lats[i] = s.latency
 		if s.cached {
-			hits++
+			clientHits++
+		}
+		if s.stolen {
+			clientStolen++
 		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -129,23 +236,83 @@ func main() {
 		idx := int(p * float64(len(lats)-1))
 		return lats[idx]
 	}
+
+	submitted := after.submitted - before.submitted
+	hitRatio := 0.0
+	stealRate := 0.0
+	if submitted > 0 {
+		hitRatio = (after.hits - before.hits + after.peerHits - before.peerHits) / submitted
+		stealRate = (after.stolen - before.stolen) / submitted
+	}
+
+	fmt.Printf("arrival             %s (%d replica(s))\n", *arrival, len(addrs))
 	fmt.Printf("completed           %d/%d jobs in %v (%.1f jobs/s)\n",
-		len(samples), *jobs, wall.Round(time.Millisecond),
+		len(samples), total, wall.Round(time.Millisecond),
 		float64(len(samples))/wall.Seconds())
 	fmt.Printf("latency p50         %v\n", pct(0.50).Round(time.Microsecond))
 	fmt.Printf("latency p95         %v\n", pct(0.95).Round(time.Microsecond))
 	fmt.Printf("latency p99         %v\n", pct(0.99).Round(time.Microsecond))
-	fmt.Printf("cache-hit ratio     %.1f%% (%d/%d)\n",
-		100*float64(hits)/float64(len(samples)), hits, len(samples))
+	fmt.Printf("client cache hits   %.1f%% (%d/%d instant)\n",
+		100*float64(clientHits)/float64(len(samples)), clientHits, len(samples))
+	fmt.Printf("fleet cache-hit     %.1f%% (local+peer hits / submissions, via /metrics)\n", 100*hitRatio)
+	fmt.Printf("fleet steal rate    %.1f%% (%d observed stolen)\n", 100*stealRate, clientStolen)
 	fmt.Printf("backpressure 429s   %d (retried)\n", rejected.Load())
 	fmt.Printf("failed jobs         %d\n", failed.Load())
+
+	exit := 0
 	if failed.Load() > 0 {
-		os.Exit(1)
+		exit = 1
 	}
+	if *p95Max > 0 && pct(0.95) > *p95Max {
+		fmt.Fprintf(os.Stderr, "loadtest: SLO violation: p95 %v > -p95-max %v\n", pct(0.95), *p95Max)
+		exit = 1
+	}
+	if *hitMin >= 0 && hitRatio < *hitMin {
+		fmt.Fprintf(os.Stderr, "loadtest: SLO violation: fleet cache-hit ratio %.3f < -hit-min %.3f\n", hitRatio, *hitMin)
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+// scrapeFleet sums the counters of interest across every replica's
+// /metrics. Unreachable replicas contribute zero (the run itself will
+// surface hard failures).
+func scrapeFleet(client *http.Client, addrs []string) fleetCounters {
+	var c fleetCounters
+	for _, addr := range addrs {
+		resp, err := client.Get(addr + "/metrics")
+		if err != nil {
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		for _, line := range strings.Split(string(raw), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) != 2 || strings.HasPrefix(line, "#") {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[0] {
+			case "offsimd_jobs_submitted_total":
+				c.submitted += v
+			case "offsimd_cache_hits_total":
+				c.hits += v
+			case "offsimd_peer_cache_hits_total":
+				c.peerHits += v
+			case "offsimd_jobs_stolen_total":
+				c.stolen += v
+			}
+		}
+	}
+	return c
 }
 
 // runOne submits one spec (retrying on 429 backpressure) and waits for
-// the job to finish, returning its end-to-end latency.
+// the job to finish, polling the replica that owns it, and returns its
+// end-to-end latency.
 func runOne(client *http.Client, addr string, spec jobSpec, timeout time.Duration, rejected *atomic.Int64) (sample, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -179,13 +346,20 @@ func runOne(client *http.Client, addr string, spec jobSpec, timeout time.Duratio
 		}
 		break
 	}
+	// In a fleet, the submission may have been routed: poll the replica
+	// that holds the job.
+	pollAddr := addr
+	if st.Replica != "" {
+		pollAddr = st.Replica
+	}
+	stolen := st.Stolen
 
 	for st.State != "done" && st.State != "failed" {
 		if time.Now().After(deadline) {
 			return sample{}, fmt.Errorf("job %s: not finished at deadline (state %s)", st.ID, st.State)
 		}
 		time.Sleep(10 * time.Millisecond)
-		resp, err := client.Get(addr + "/v1/jobs/" + st.ID)
+		resp, err := client.Get(pollAddr + "/v1/jobs/" + st.ID)
 		if err != nil {
 			return sample{}, err
 		}
@@ -197,9 +371,10 @@ func runOne(client *http.Client, addr string, spec jobSpec, timeout time.Duratio
 		if err := json.Unmarshal(raw, &st); err != nil {
 			return sample{}, err
 		}
+		stolen = stolen || st.Stolen
 	}
 	if st.State == "failed" {
 		return sample{}, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
 	}
-	return sample{latency: time.Since(start), cached: st.Cached}, nil
+	return sample{latency: time.Since(start), cached: st.Cached, stolen: stolen}, nil
 }

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Membership is a fleet's static configuration: this replica's
+// advertised base URL plus its peers' base URLs. The ring is built over
+// All(); membership changes are a restart with new flags (no gossip in
+// this iteration — see docs/CLUSTER.md).
+type Membership struct {
+	// Self is the base URL peers use to reach this replica
+	// (e.g. "http://10.0.0.1:8080"). Normalized by NormalizeAddr.
+	Self string
+	// Peers are the other replicas' base URLs, normalized and sorted.
+	Peers []string
+}
+
+// NormalizeAddr canonicalizes a replica base URL: scheme and host are
+// lower-cased and a trailing slash is dropped, so textual variants of
+// one address compare equal. It rejects anything that is not a bare
+// http(s) base URL with a host.
+func NormalizeAddr(raw string) (string, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return "", fmt.Errorf("empty replica address")
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("replica address %q: %v", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("replica address %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("replica address %q: missing host", raw)
+	}
+	if strings.TrimSuffix(u.Path, "/") != "" || u.RawQuery != "" || u.Fragment != "" || u.User != nil {
+		return "", fmt.Errorf("replica address %q: must be a bare base URL (no path, query, fragment or userinfo)", raw)
+	}
+	return strings.ToLower(u.Scheme) + "://" + strings.ToLower(u.Host), nil
+}
+
+// ParseMembership validates and normalizes a fleet configuration:
+// advertise is this replica's own base URL, peers the others'. It
+// rejects malformed URLs, the replica listing itself as a peer, and
+// duplicate peer addresses — the same up-front validation contract the
+// command-line tools follow.
+func ParseMembership(advertise string, peers []string) (Membership, error) {
+	self, err := NormalizeAddr(advertise)
+	if err != nil {
+		return Membership{}, fmt.Errorf("-advertise: %v", err)
+	}
+	seen := map[string]bool{self: true}
+	norm := make([]string, 0, len(peers))
+	for _, p := range peers {
+		np, err := NormalizeAddr(p)
+		if err != nil {
+			return Membership{}, fmt.Errorf("-peers: %v", err)
+		}
+		if np == self {
+			return Membership{}, fmt.Errorf("-peers: %q is the replica's own -advertise address", p)
+		}
+		if seen[np] {
+			return Membership{}, fmt.Errorf("-peers: duplicate address %q", p)
+		}
+		seen[np] = true
+		norm = append(norm, np)
+	}
+	return Membership{Self: self, Peers: norm}, nil
+}
+
+// All returns self plus peers. NewRing sorts, so order is irrelevant.
+func (m Membership) All() []string {
+	return append([]string{m.Self}, m.Peers...)
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMembership(t *testing.T) {
+	cases := []struct {
+		name      string
+		advertise string
+		peers     []string
+		wantErr   string // substring; empty = success
+		wantSelf  string
+		wantPeers []string
+	}{
+		{
+			name:      "three replica fleet",
+			advertise: "http://h0:8080",
+			peers:     []string{"http://h1:8080", "http://h2:8080"},
+			wantSelf:  "http://h0:8080",
+			wantPeers: []string{"http://h1:8080", "http://h2:8080"},
+		},
+		{
+			name:      "normalization folds case and trailing slash",
+			advertise: "HTTP://H0:8080/",
+			peers:     []string{"http://H1:8080/"},
+			wantSelf:  "http://h0:8080",
+			wantPeers: []string{"http://h1:8080"},
+		},
+		{
+			name:      "no peers",
+			advertise: "https://solo:9090",
+			wantSelf:  "https://solo:9090",
+		},
+		{
+			name:      "malformed peer URL",
+			advertise: "http://h0:8080",
+			peers:     []string{"://bad"},
+			wantErr:   "-peers",
+		},
+		{
+			name:      "peer without scheme",
+			advertise: "http://h0:8080",
+			peers:     []string{"h1:8080"},
+			wantErr:   "scheme must be http or https",
+		},
+		{
+			name:      "peer with path",
+			advertise: "http://h0:8080",
+			peers:     []string{"http://h1:8080/v1"},
+			wantErr:   "bare base URL",
+		},
+		{
+			name:      "self in peers",
+			advertise: "http://h0:8080",
+			peers:     []string{"http://h1:8080", "http://H0:8080/"},
+			wantErr:   "own -advertise",
+		},
+		{
+			name:      "duplicate peer",
+			advertise: "http://h0:8080",
+			peers:     []string{"http://h1:8080", "http://h1:8080/"},
+			wantErr:   "duplicate address",
+		},
+		{
+			name:      "empty advertise",
+			advertise: "",
+			wantErr:   "-advertise",
+		},
+		{
+			name:      "advertise with query",
+			advertise: "http://h0:8080?x=1",
+			wantErr:   "bare base URL",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := ParseMembership(tc.advertise, tc.peers)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("expected error containing %q, got membership %+v", tc.wantErr, m)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Self != tc.wantSelf {
+				t.Errorf("Self = %q, want %q", m.Self, tc.wantSelf)
+			}
+			if len(m.Peers) != len(tc.wantPeers) {
+				t.Fatalf("Peers = %v, want %v", m.Peers, tc.wantPeers)
+			}
+			for i := range m.Peers {
+				if m.Peers[i] != tc.wantPeers[i] {
+					t.Errorf("Peers[%d] = %q, want %q", i, m.Peers[i], tc.wantPeers[i])
+				}
+			}
+			if got := len(m.All()); got != len(tc.wantPeers)+1 {
+				t.Errorf("All() has %d members, want %d", got, len(tc.wantPeers)+1)
+			}
+		})
+	}
+}

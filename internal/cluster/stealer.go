@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// Stealer picks victims for work-stealing. An owner whose queue depth
+// exceeds the configured threshold forwards jobs to the least-loaded
+// peer instead of queueing them; the peer executes and the owner writes
+// the result back through its own cache, preserving shard ownership of
+// the cached state. The MPSoC offload studies (PAPERS.md) are the
+// cautionary tale here: dispatch overhead only amortizes when the
+// victim genuinely has spare capacity, so selection requires a strictly
+// lighter peer, not just any peer.
+type Stealer struct {
+	Client *PeerClient
+	Peers  []string
+}
+
+// Victim returns the peer with the lowest load score, querying all
+// peers concurrently. The boolean is false when no peer is usable or
+// every usable peer is at least as loaded as selfScore (stealing would
+// only shuffle the imbalance, and ping-pong between two saturated
+// replicas burns dispatch overhead for nothing). Draining peers are
+// never selected. Ties break toward the lexically smallest address so
+// selection is deterministic for a given set of load reports.
+func (s *Stealer) Victim(ctx context.Context, selfScore int64) (string, bool) {
+	if len(s.Peers) == 0 {
+		return "", false
+	}
+	type probe struct {
+		addr string
+		load LoadReport
+		err  error
+	}
+	probes := make([]probe, len(s.Peers))
+	var wg sync.WaitGroup
+	for i, addr := range s.Peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			l, err := s.Client.Load(ctx, addr)
+			probes[i] = probe{addr: addr, load: l, err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	best, found := "", false
+	var bestScore int64
+	for _, p := range probes {
+		if p.err != nil || p.load.Draining {
+			continue
+		}
+		score := p.load.Score()
+		if score >= selfScore {
+			continue
+		}
+		if !found || score < bestScore || (score == bestScore && p.addr < best) {
+			best, bestScore, found = p.addr, score, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"offloadsim/internal/sim"
+)
+
+// SweepRequest is the wire form of POST /v1/sweeps: a Figure-4-style
+// parameter grid (workloads × policies × thresholds × latencies) that
+// the coordinator decomposes into canonical-keyed jobs and fans across
+// the fleet. Field semantics and defaults deliberately mirror
+// cmd/sweep, so the streamed rows are comparable byte-for-byte with the
+// offline tool's output for the same grid.
+type SweepRequest struct {
+	Workloads  []string `json:"workloads"`
+	Policies   []string `json:"policies,omitempty"`   // default ["HI"]
+	Thresholds []int    `json:"thresholds,omitempty"` // default [100]
+	Latencies  []int    `json:"latencies,omitempty"`  // default [100]
+	// WarmupInstrs / MeasureInstrs / Seed default to cmd/sweep's
+	// 1M / 1M / 1; pointers let an explicit zero warmup survive.
+	WarmupInstrs  *uint64 `json:"warmup_instrs,omitempty"`
+	MeasureInstrs *uint64 `json:"measure_instrs,omitempty"`
+	Seed          *uint64 `json:"seed,omitempty"`
+	// Mode selects the execution engine per point: "" / "detailed",
+	// "sampled", or "parallel" (same vocabulary as job specs).
+	Mode string `json:"mode,omitempty"`
+	// Replicas merges that many sampled replicas per point (requires
+	// mode "sampled").
+	Replicas int `json:"replicas,omitempty"`
+	// Normalize adds per-workload baseline runs and reports normalized
+	// throughput like cmd/sweep does. Default true; disable for exact
+	// grid-only execution accounting.
+	Normalize *bool `json:"normalize,omitempty"`
+	// Concurrency bounds how many points are in flight fleet-wide from
+	// this sweep (default DefaultSweepConcurrency).
+	Concurrency int `json:"concurrency,omitempty"`
+}
+
+// DefaultSweepConcurrency bounds a sweep's in-flight points when the
+// request does not say otherwise.
+const DefaultSweepConcurrency = 8
+
+// withDefaults fills cmd/sweep's defaults and validates shape-level
+// constraints (per-point config validity is checked when each job spec
+// is built).
+func (r SweepRequest) withDefaults() (SweepRequest, error) {
+	if len(r.Workloads) == 0 {
+		return r, fmt.Errorf("sweep: workloads must be non-empty")
+	}
+	if len(r.Policies) == 0 {
+		r.Policies = []string{"HI"}
+	}
+	if len(r.Thresholds) == 0 {
+		r.Thresholds = []int{100}
+	}
+	if len(r.Latencies) == 0 {
+		r.Latencies = []int{100}
+	}
+	for _, n := range r.Thresholds {
+		if n < 0 {
+			return r, fmt.Errorf("sweep: thresholds must be >= 0 (got %d)", n)
+		}
+	}
+	for _, l := range r.Latencies {
+		if l < 0 {
+			return r, fmt.Errorf("sweep: latencies must be >= 0 (got %d)", l)
+		}
+	}
+	if r.WarmupInstrs == nil {
+		w := uint64(1_000_000)
+		r.WarmupInstrs = &w
+	}
+	if r.MeasureInstrs == nil {
+		m := uint64(1_000_000)
+		r.MeasureInstrs = &m
+	}
+	if *r.MeasureInstrs == 0 {
+		return r, fmt.Errorf("sweep: measure_instrs must be positive")
+	}
+	if r.Seed == nil {
+		s := uint64(1)
+		r.Seed = &s
+	}
+	switch r.Mode {
+	case "", "detailed", "sampled", "parallel":
+	default:
+		return r, fmt.Errorf("sweep: unknown mode %q (detailed, sampled, parallel)", r.Mode)
+	}
+	if r.Replicas < 0 {
+		return r, fmt.Errorf("sweep: negative replicas %d", r.Replicas)
+	}
+	if r.Replicas > 1 && r.Mode != "sampled" {
+		return r, fmt.Errorf("sweep: replicas %d requires mode \"sampled\"", r.Replicas)
+	}
+	if r.Normalize == nil {
+		t := true
+		r.Normalize = &t
+	}
+	if r.Concurrency == 0 {
+		r.Concurrency = DefaultSweepConcurrency
+	}
+	if r.Concurrency < 1 {
+		return r, fmt.Errorf("sweep: concurrency must be >= 1 (got %d)", r.Concurrency)
+	}
+	return r, nil
+}
+
+// Point is one grid cell. Baseline points (normalization prep) carry
+// Index -1 and are not streamed.
+type Point struct {
+	Index     int
+	Workload  string
+	Policy    string
+	Threshold int
+	Latency   int
+}
+
+// points enumerates the grid in cmd/sweep's nesting order:
+// workloads × policies × thresholds × latencies.
+func (r SweepRequest) points() []Point {
+	var out []Point
+	for _, wl := range r.Workloads {
+		for _, pol := range r.Policies {
+			for _, n := range r.Thresholds {
+				for _, lat := range r.Latencies {
+					out = append(out, Point{
+						Index:     len(out),
+						Workload:  wl,
+						Policy:    pol,
+						Threshold: n,
+						Latency:   lat,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Row mirrors cmd/sweep's export row field-for-field, so a sweep
+// served by the fleet reads exactly like one run offline.
+type Row struct {
+	Workload   string  `json:"workload"`
+	Policy     string  `json:"policy"`
+	Threshold  int     `json:"threshold"`
+	OneWay     int     `json:"one_way_latency"`
+	Throughput float64 `json:"throughput"`
+	Normalized float64 `json:"normalized"`
+	OffloadPct float64 `json:"offload_pct"`
+	OSUtilPct  float64 `json:"os_util_pct"`
+	UserL2Hit  float64 `json:"user_l2_hit"`
+	OSL2Hit    float64 `json:"os_l2_hit"`
+	C2C        uint64  `json:"c2c_transfers"`
+	QueueMean  float64 `json:"queue_mean_cyc"`
+}
+
+// BuildRow shapes a simulation result into the export row. baseline is
+// the matching workload's baseline throughput for normalization; pass 0
+// to leave Normalized at 0 (normalization disabled).
+func BuildRow(p Point, res sim.Result, baseline float64) Row {
+	row := Row{
+		Workload:   p.Workload,
+		Policy:     res.Policy,
+		Threshold:  p.Threshold,
+		OneWay:     p.Latency,
+		Throughput: res.Throughput,
+		OffloadPct: 100 * res.OffloadRate,
+		OSUtilPct:  100 * res.OSCoreUtilization,
+		UserL2Hit:  res.UserL2HitRate,
+		OSL2Hit:    res.OSL2HitRate,
+		C2C:        res.C2CTransfers,
+		QueueMean:  res.MeanQueueDelay,
+	}
+	if baseline > 0 {
+		row.Normalized = res.Throughput / baseline
+	}
+	return row
+}
+
+// PointResult is one streamed NDJSON line of POST /v1/sweeps: the grid
+// coordinates, a terminal status, and the export row on success. Lines
+// are emitted in index order and their bytes are deterministic, so two
+// sweeps of the same grid stream identical point lines no matter which
+// replicas did the computing.
+type PointResult struct {
+	Index     int    `json:"index"`
+	Workload  string `json:"workload"`
+	Policy    string `json:"policy"`
+	Threshold int    `json:"threshold"`
+	OneWay    int    `json:"one_way_latency"`
+	Status    string `json:"status"` // "done" or "failed"
+	Error     string `json:"error,omitempty"`
+	Row       *Row   `json:"row,omitempty"`
+}
+
+// Progress is GET /v1/sweeps/{id}: a sweep's live point accounting.
+type Progress struct {
+	ID      string `json:"id"`
+	Total   int    `json:"total"`
+	Done    int    `json:"done"`
+	Failed  int    `json:"failed"`
+	Running int    `json:"running"`
+	Pending int    `json:"pending"`
+	// Complete is true once every point reached a terminal state.
+	Complete bool `json:"complete"`
+}
+
+// RunPointFunc executes one grid point somewhere in the fleet and
+// returns the result document bytes (a marshaled sim.Result). The
+// server provides it: it builds the job spec, computes the canonical
+// key, routes to the ring owner, and waits for completion.
+type RunPointFunc func(ctx context.Context, req SweepRequest, p Point) ([]byte, error)
+
+// Coordinator decomposes sweep requests and drives their points
+// through RunPoint with bounded concurrency.
+type Coordinator struct {
+	RunPoint RunPointFunc
+}
+
+// Sweep is one in-flight or finished sweep.
+type Sweep struct {
+	ID  string
+	Req SweepRequest
+
+	points []Point
+
+	mu      sync.Mutex
+	results []*PointResult // nil until the point is terminal
+	running int
+	done    int
+	failed  int
+
+	ready    []chan struct{} // closed when results[i] is set
+	finished chan struct{}   // closed when every point is terminal
+}
+
+// Start validates req, expands its grid and launches execution on ctx
+// (which should outlive the submitting request: a sweep keeps running
+// if the streaming client disconnects — its results land in the fleet
+// cache either way).
+func (c *Coordinator) Start(ctx context.Context, id string, req SweepRequest) (*Sweep, error) {
+	req, err := req.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{
+		ID:       id,
+		Req:      req,
+		points:   req.points(),
+		finished: make(chan struct{}),
+	}
+	s.results = make([]*PointResult, len(s.points))
+	s.ready = make([]chan struct{}, len(s.points))
+	for i := range s.ready {
+		s.ready[i] = make(chan struct{})
+	}
+	go s.run(ctx, c.RunPoint)
+	return s, nil
+}
+
+// run executes baselines (when normalizing) then the grid, with at
+// most Req.Concurrency points in flight.
+func (s *Sweep) run(ctx context.Context, runPoint RunPointFunc) {
+	defer close(s.finished)
+
+	// Baselines first: one per workload, computed through the same
+	// fleet path as any point (so repeats across sweeps hit the cache).
+	baselines := make(map[string]float64, len(s.Req.Workloads))
+	baselineErr := make(map[string]error, len(s.Req.Workloads))
+	if *s.Req.Normalize {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		sem := make(chan struct{}, s.Req.Concurrency)
+		for _, wl := range s.Req.Workloads {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(wl string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := s.execPoint(ctx, runPoint, Point{
+					Index:    -1,
+					Workload: wl,
+					Policy:   "baseline",
+					// Threshold/Latency are irrelevant to a never-off-loading
+					// baseline but keep the grid defaults for a stable key.
+					Threshold: 1000,
+					Latency:   100,
+				})
+				mu.Lock()
+				if err != nil {
+					baselineErr[wl] = err
+				} else {
+					baselines[wl] = res.Throughput
+				}
+				mu.Unlock()
+			}(wl)
+		}
+		wg.Wait()
+	}
+
+	sem := make(chan struct{}, s.Req.Concurrency)
+	var wg sync.WaitGroup
+	for i := range s.points {
+		p := s.points[i]
+		if err, bad := baselineErr[p.Workload]; bad {
+			s.finishPoint(p, nil, fmt.Errorf("baseline for %s: %v", p.Workload, err))
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		s.mu.Lock()
+		s.running++
+		s.mu.Unlock()
+		go func(p Point) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := s.execPoint(ctx, runPoint, p)
+			if err != nil {
+				s.finishPoint(p, nil, err)
+				return
+			}
+			row := BuildRow(p, res, baselines[p.Workload])
+			s.finishPoint(p, &row, nil)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// execPoint runs one point and decodes its result document.
+func (s *Sweep) execPoint(ctx context.Context, runPoint RunPointFunc, p Point) (sim.Result, error) {
+	b, err := runPoint(ctx, s.Req, p)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var res sim.Result
+	if err := json.Unmarshal(b, &res); err != nil {
+		return sim.Result{}, fmt.Errorf("decoding result for point %d: %v", p.Index, err)
+	}
+	return res, nil
+}
+
+// finishPoint records a terminal state for p and wakes its streamers.
+// Baseline points (Index -1) have no slot and only surface as failures
+// through the grid points that depended on them.
+func (s *Sweep) finishPoint(p Point, row *Row, err error) {
+	if p.Index < 0 {
+		return
+	}
+	pr := &PointResult{
+		Index:     p.Index,
+		Workload:  p.Workload,
+		Policy:    p.Policy,
+		Threshold: p.Threshold,
+		OneWay:    p.Latency,
+	}
+	if err != nil {
+		pr.Status = "failed"
+		pr.Error = err.Error()
+	} else {
+		pr.Status = "done"
+		pr.Row = row
+		// The row's Policy field uses the engine's canonical spelling;
+		// mirror it in the coordinates for consistency with cmd/sweep.
+		pr.Policy = row.Policy
+	}
+	s.mu.Lock()
+	s.results[p.Index] = pr
+	if s.running > 0 {
+		s.running--
+	}
+	if err != nil {
+		s.failed++
+	} else {
+		s.done++
+	}
+	s.mu.Unlock()
+	close(s.ready[p.Index])
+}
+
+// Total returns the grid size.
+func (s *Sweep) Total() int { return len(s.points) }
+
+// Progress snapshots the sweep's accounting.
+func (s *Sweep) Progress() Progress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Progress{
+		ID:       s.ID,
+		Total:    len(s.points),
+		Done:     s.done,
+		Failed:   s.failed,
+		Running:  s.running,
+		Pending:  len(s.points) - s.done - s.failed - s.running,
+		Complete: s.done+s.failed == len(s.points),
+	}
+}
+
+// Stream delivers point results in index order, calling emit as each
+// next-in-order point becomes terminal. It returns when all points
+// have been emitted, ctx expires, or emit fails (client gone); the
+// sweep itself keeps running regardless.
+func (s *Sweep) Stream(ctx context.Context, emit func(*PointResult) error) error {
+	for i := range s.points {
+		select {
+		case <-s.ready[i]:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		s.mu.Lock()
+		pr := s.results[i]
+		s.mu.Unlock()
+		if err := emit(pr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Wait blocks until every point is terminal or ctx expires.
+func (s *Sweep) Wait(ctx context.Context) error {
+	select {
+	case <-s.finished:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

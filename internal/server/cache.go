@@ -64,6 +64,17 @@ func (c *resultCache) put(key string, val []byte) {
 	}
 }
 
+// keys returns the cached keys, most recently used first.
+func (c *resultCache) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
 // len returns the current entry count.
 func (c *resultCache) len() int {
 	c.mu.Lock()

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
+	"offloadsim/internal/sim"
 	"offloadsim/internal/telemetry"
 )
 
@@ -19,12 +22,26 @@ import (
 //	                      (?format=chrome|jsonl, default chrome)
 //	GET  /healthz         liveness (503 once draining)
 //	GET  /metrics         Prometheus text metrics
+//
+// Fleet endpoints (docs/CLUSTER.md):
+//
+//	POST /v1/sweeps                  decompose a parameter grid across the
+//	                                 fleet; streams NDJSON point results
+//	GET  /v1/sweeps/{id}             sweep progress
+//	GET  /v1/peer/results/{key}      peer cache probe (404 = not cached)
+//	POST /v1/peer/execute            synchronous execution for a peer
+//	GET  /v1/peer/load               queue-depth report for victim selection
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /v1/peer/results/{key}", s.handlePeerResult)
+	mux.HandleFunc("POST /v1/peer/execute", s.handlePeerExecute)
+	mux.HandleFunc("GET /v1/peer/load", s.handlePeerLoad)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -44,12 +61,32 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "reading job spec: " + err.Error()})
+		return
+	}
 	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed job spec: " + err.Error()})
 		return
+	}
+	// Consistent-hash routing: a submission that reaches the wrong replica
+	// is proxied to the key's ring owner, so each key's cache entry lives
+	// on exactly one shard. Replica-to-replica traffic carries
+	// internalHeader and is never forwarded again.
+	if s.cluster != nil && r.Header.Get(internalHeader) == "" {
+		if cfg, err := spec.Config(); err == nil {
+			if key, err := sim.CanonicalKey(cfg); err == nil {
+				if owner := s.cluster.owner(key); owner != s.cluster.self {
+					s.forwardSubmit(w, r, owner, body)
+					return
+				}
+			}
+		}
+		// Invalid specs fall through: Submit produces the 400.
 	}
 	st, err := s.Submit(spec)
 	switch {
@@ -152,6 +189,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// The ring-ownership gauge is a cache scan; refresh it per scrape
+	// rather than on every cache mutation.
+	s.metrics.RingOwnedKeys.Store(s.ownedCachedKeys())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = s.metrics.WriteTo(w)
 }

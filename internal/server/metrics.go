@@ -25,9 +25,19 @@ type Metrics struct {
 	JobsParallel atomic.Uint64 // simulations executed on the parallel engine
 	JobsTraced   atomic.Uint64 // simulations executed with telemetry capture
 
+	// Fleet coordination (docs/CLUSTER.md).
+	PeerCacheHits   atomic.Uint64 // jobs finished from a peer's cache tier instead of simulating
+	PeerCacheMisses atomic.Uint64 // peer cache probes that found nothing (job simulated locally)
+	JobsStolen      atomic.Uint64 // jobs this owner dispatched to a less-loaded peer
+	PeerExecutes    atomic.Uint64 // jobs executed here on behalf of a peer (steal victims, sweep fan-out)
+	JobsForwarded   atomic.Uint64 // submissions routed to their ring owner
+	Sweeps          atomic.Uint64 // sweep requests accepted
+	SweepPoints     atomic.Uint64 // grid points accepted across all sweeps
+
 	QueueDepth    atomic.Int64 // jobs sitting in the bounded queue
 	JobsRunning   atomic.Int64 // jobs currently being simulated
 	ReservedSlots atomic.Int64 // extra pool slots held by running parallel jobs
+	RingOwnedKeys atomic.Int64 // cached results whose key this replica owns per the ring (refreshed at scrape)
 
 	latency   histogram
 	queueWait histogram
@@ -85,6 +95,13 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("offsimd_jobs_detailed_total", "Simulations executed fully detailed.", m.JobsDetailed.Load())
 	counter("offsimd_jobs_parallel_total", "Simulations executed on the parallel engine.", m.JobsParallel.Load())
 	counter("offsimd_jobs_traced_total", "Simulations executed with telemetry capture.", m.JobsTraced.Load())
+	counter("offsimd_peer_cache_hits_total", "Jobs finished from a peer's cache tier instead of simulating.", m.PeerCacheHits.Load())
+	counter("offsimd_peer_cache_misses_total", "Peer cache probes that found nothing.", m.PeerCacheMisses.Load())
+	counter("offsimd_jobs_stolen_total", "Jobs dispatched to a less-loaded peer by work-stealing.", m.JobsStolen.Load())
+	counter("offsimd_peer_executes_total", "Jobs executed here on behalf of a peer replica.", m.PeerExecutes.Load())
+	counter("offsimd_jobs_forwarded_total", "Submissions routed to their consistent-hash ring owner.", m.JobsForwarded.Load())
+	counter("offsimd_sweeps_total", "Sweep requests accepted.", m.Sweeps.Load())
+	counter("offsimd_sweep_points_total", "Grid points accepted across all sweeps.", m.SweepPoints.Load())
 	// Canonical gauge names carry a unit suffix per the Prometheus naming
 	// conventions; the unsuffixed originals are kept as deprecated
 	// aliases so existing dashboards keep scraping.
@@ -93,6 +110,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	gauge("offsimd_jobs_running", "Jobs currently being simulated.", m.JobsRunning.Load())
 	gauge("offsimd_reserved_worker_slots", "Extra worker-pool slots held by running parallel jobs.", m.ReservedSlots.Load())
 	gauge("offsimd_reserved_slots", "DEPRECATED: alias of offsimd_reserved_worker_slots.", m.ReservedSlots.Load())
+	gauge("offsimd_ring_owned_keys", "Cached results whose key this replica owns per the hash ring.", m.RingOwnedKeys.Load())
 	m.latency.writeTo(cw, "offsimd_job_latency_seconds", "Submit-to-finish job latency.")
 	m.queueWait.writeTo(cw, "offsimd_queue_wait_seconds", "Submit-to-worker-pickup queue wait.")
 	m.simSpeed.writeTo(cw, "offsimd_sim_instrs_per_second", "Simulated instructions per wall second, successful jobs only.")

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"offloadsim/internal/cluster"
 	"offloadsim/internal/sample"
 	"offloadsim/internal/sim"
 	"offloadsim/internal/telemetry"
@@ -25,6 +26,10 @@ type Options struct {
 	JobTimeout time.Duration
 	// CacheEntries bounds the result cache. Default 4096.
 	CacheEntries int
+	// Cluster joins the server to a multi-replica fleet (consistent-hash
+	// routing, peer cache tier, work-stealing, sweep fan-out). The zero
+	// value runs a single replica. See docs/CLUSTER.md.
+	Cluster ClusterOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +57,12 @@ type Server struct {
 	cache   *resultCache
 	queue   *jobQueue
 
+	// cluster is non-nil when Options.Cluster joined a fleet; it owns
+	// routing, the peer cache tier and stealing (cluster.go).
+	cluster *clusterNode
+	// coord decomposes and drives sweep requests (sweeps.go).
+	coord *cluster.Coordinator
+
 	// runSim is swappable for tests; defaults to sim.Run.
 	runSim func(sim.Config) (sim.Result, error)
 
@@ -65,7 +76,9 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*job   // all jobs by id
 	pending  map[string][]*job // key -> jobs awaiting one in-flight simulation
+	sweeps   map[string]*cluster.Sweep
 	seq      uint64
+	sweepSeq uint64
 	draining bool
 	// reserved counts worker-pool slots held by running parallel jobs
 	// beyond their own worker, so concurrent parallel simulations cannot
@@ -82,7 +95,7 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	srv := &Server{
 		opts:    opts,
 		metrics: NewMetrics(),
 		cache:   newResultCache(opts.CacheEntries),
@@ -113,9 +126,15 @@ func New(opts Options) *Server {
 		now:     time.Now,
 		jobs:    make(map[string]*job),
 		pending: make(map[string][]*job),
+		sweeps:  make(map[string]*cluster.Sweep),
 		baseCtx: ctx,
 		abort:   cancel,
 	}
+	if opts.Cluster.Enabled() {
+		srv.cluster = newClusterNode(opts.Cluster)
+	}
+	srv.coord = &cluster.Coordinator{RunPoint: srv.runSweepPoint}
+	return srv
 }
 
 // Metrics exposes the instrumentation registry.
@@ -133,9 +152,23 @@ func (s *Server) Start() {
 
 // Submit validates spec, consults the result cache and either completes
 // the job instantly (cache hit), attaches it to an identical in-flight
-// job (coalescing), or enqueues it. ErrQueueFull and ErrDraining report
-// backpressure and shutdown; other errors are invalid specs.
+// job (coalescing), or enqueues it. In a fleet, a job landing on an
+// overloaded owner may instead be offered to the least-loaded peer
+// (work-stealing). ErrQueueFull and ErrDraining report backpressure and
+// shutdown; other errors are invalid specs.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	return s.submit(spec, submitOpts{})
+}
+
+// submitOpts distinguishes replica-to-replica work from client work.
+type submitOpts struct {
+	// internal marks jobs arriving via /v1/peer/execute: they execute
+	// here, period — no forwarding (done at the HTTP layer) and no
+	// re-stealing, so work cannot bounce around the fleet.
+	internal bool
+}
+
+func (s *Server) submit(spec JobSpec, opt submitOpts) (JobStatus, error) {
 	cfg, err := spec.Config()
 	if err != nil {
 		return JobStatus{}, fmt.Errorf("invalid job spec: %w", err)
@@ -177,7 +210,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		s.metrics.JobsSubmitted.Add(1)
 		s.metrics.CacheMisses.Add(1)
 		s.metrics.QueueDepth.Add(1)
-		return j.status(), nil
+		return s.stamp(j.status()), nil
 	}
 
 	if res, ok := s.cache.get(key); ok {
@@ -186,7 +219,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		s.completeLocked(j, res, "")
 		s.metrics.JobsSubmitted.Add(1)
 		s.metrics.CacheHits.Add(1)
-		return j.status(), nil
+		return s.stamp(j.status()), nil
 	}
 
 	if waiters, ok := s.pending[key]; ok {
@@ -198,7 +231,21 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		s.metrics.JobsSubmitted.Add(1)
 		s.metrics.CacheMisses.Add(1)
 		s.metrics.JobsCoalesced.Add(1)
-		return j.status(), nil
+		return s.stamp(j.status()), nil
+	}
+
+	if !opt.internal && s.shouldSteal() {
+		// The queue has grown past the steal threshold: offer the job to
+		// the least-loaded peer instead of queueing it here. It still
+		// registers under pending, so identical specs coalesce behind it,
+		// and any steal failure re-enters the local queue (cluster.go).
+		s.jobs[j.id] = j
+		s.pending[key] = []*job{j}
+		j.stolen = true
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.CacheMisses.Add(1)
+		go s.stealOrRun(j)
+		return s.stamp(j.status()), nil
 	}
 
 	if !s.queue.tryPush(j) {
@@ -210,7 +257,7 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.metrics.JobsSubmitted.Add(1)
 	s.metrics.CacheMisses.Add(1)
 	s.metrics.QueueDepth.Add(1)
-	return j.status(), nil
+	return s.stamp(j.status()), nil
 }
 
 // Status returns the current status of job id.
@@ -221,7 +268,7 @@ func (s *Server) Status(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	return j.status(), true
+	return s.stamp(j.status()), true
 }
 
 // Result returns the stored result JSON for a finished job. The boolean
@@ -234,7 +281,7 @@ func (s *Server) Result(id string) ([]byte, JobStatus, bool) {
 	if !ok {
 		return nil, JobStatus{}, false
 	}
-	return j.result, j.status(), true
+	return j.result, s.stamp(j.status()), true
 }
 
 // Trace returns the telemetry capture of a finished trace job. The
@@ -366,6 +413,15 @@ func (s *Server) execute(j *job) {
 	s.metrics.ObserveQueueWait(j.startedAt.Sub(j.submittedAt).Seconds())
 	s.metrics.JobsRunning.Add(1)
 	defer s.metrics.JobsRunning.Add(-1)
+
+	// Two-tier cache, remote leg: before simulating a key this replica
+	// does not own, ask the ring owner's cache — a result computed
+	// anywhere in the fleet is computed once (cluster.go).
+	if res, ok := s.tryPeerFetch(j); ok {
+		s.finishJob(j, res, nil, "")
+		return
+	}
+
 	switch {
 	case j.cfg.Parallel.Enabled:
 		s.metrics.JobsParallel.Add(1)

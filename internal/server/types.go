@@ -241,8 +241,14 @@ type JobStatus struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// Traced is true when the job captures a telemetry trace; once done,
 	// the trace is served by GET /v1/traces/{id}.
-	Traced bool   `json:"traced,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Traced bool `json:"traced,omitempty"`
+	// Stolen is true when an overloaded owner offered this job to a
+	// peer replica instead of its own queue (work-stealing).
+	Stolen bool `json:"stolen,omitempty"`
+	// Replica is the advertised base URL of the replica holding this
+	// job (fleet mode only) — poll status and fetch results there.
+	Replica string `json:"replica,omitempty"`
+	Error   string `json:"error,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -263,6 +269,7 @@ type job struct {
 	cached    bool
 	coalesced bool
 	trace     bool
+	stolen    bool
 	err       string
 	result    []byte             // marshaled Result JSON, byte-identical across cache hits
 	capture   *telemetry.Capture // trace jobs only, set at completion
@@ -290,6 +297,7 @@ func (j *job) status() JobStatus {
 		Cached:      j.cached,
 		Coalesced:   j.coalesced,
 		Traced:      j.trace,
+		Stolen:      j.stolen,
 		Error:       j.err,
 		SubmittedAt: j.submittedAt,
 	}

@@ -3,6 +3,7 @@ package offloadsim
 import (
 	"io"
 
+	"offloadsim/internal/cluster"
 	"offloadsim/internal/coherence"
 	"offloadsim/internal/core"
 	"offloadsim/internal/cpu"
@@ -229,6 +230,24 @@ func WriteSeriesCSV(w io.Writer, series []TraceIntervalPoint) error {
 func SeriesFileName(workload, policy string, threshold, oneWay int) string {
 	return telemetry.SeriesFileName(workload, policy, threshold, oneWay)
 }
+
+// SweepRequest is the wire form of offsimd's POST /v1/sweeps: a
+// Figure-4-style parameter grid (workloads × policies × thresholds ×
+// latencies) the fleet decomposes into canonical-keyed jobs and
+// computes exactly once across replicas (docs/CLUSTER.md). Field
+// semantics mirror cmd/sweep.
+type SweepRequest = cluster.SweepRequest
+
+// SweepRow is one streamed sweep result row, field-for-field identical
+// to cmd/sweep's export rows.
+type SweepRow = cluster.Row
+
+// SweepPointResult is one NDJSON line of a streaming sweep response:
+// grid coordinates, terminal status, and the row on success.
+type SweepPointResult = cluster.PointResult
+
+// SweepProgress is GET /v1/sweeps/{id}: a sweep's live accounting.
+type SweepProgress = cluster.Progress
 
 // Workloads returns all modeled benchmark profiles: apache, specjbb and
 // derby (servers), plus the six-member compute group.
