@@ -7,11 +7,11 @@
 GO ?= go
 
 .PHONY: ci fmt vet test race server-race build build-examples bench \
-	bench-json bench-engine bench-parallel bench-cluster accuracy \
-	accuracy-parallel golden golden-check fuzz-smoke telemetry-overhead \
-	cluster-e2e
+	bench-json bench-engine bench-parallel bench-cluster bench-oscore \
+	accuracy accuracy-parallel golden golden-check fuzz-smoke \
+	telemetry-overhead cluster-e2e oscore-equivalence
 
-ci: fmt vet build-examples race golden-check fuzz-smoke telemetry-overhead cluster-e2e accuracy accuracy-parallel
+ci: fmt vet build-examples race golden-check fuzz-smoke telemetry-overhead cluster-e2e oscore-equivalence accuracy accuracy-parallel
 
 build:
 	$(GO) build ./...
@@ -91,6 +91,21 @@ bench-cluster:
 bench-parallel:
 	OFFLOADSIM_BENCH_PARALLEL=BENCH_parallel.json $(GO) test -run '^TestWriteBenchParallelJSON$$' -count=1 -v -timeout 30m .
 
+# Multi-OS-core K=1 equivalence gate, part of `make ci`: an enabled
+# K=1 synchronous cluster block must collapse to the classic
+# single-OS-core model — identical canonical key and byte-identical
+# Result JSON (docs/OSCORES.md). This is what keeps the cluster
+# subsystem from silently forking the legacy model's behavior.
+oscore-equivalence:
+	$(GO) test -run '^TestOSCoresK1Equivalence$$' -count=1 -v ./internal/sim/
+
+# Multi-OS-core trajectory: the cluster-size sweep (K={1,2,4} plus a
+# big/little async cell) on 4-user-core apache, into BENCH_oscore.json
+# with the off-load latency distribution from the event trace (records
+# host CPU count — wall speeds are host-class-relative).
+bench-oscore:
+	OFFLOADSIM_BENCH_OSCORE=BENCH_oscore.json $(GO) test -run '^TestWriteBenchOSCoreJSON$$' -count=1 -v -timeout 30m .
+
 # Telemetry zero-overhead gate: the detailed engine with telemetry
 # detached must stay within 2% of the throughput recorded in
 # BENCH_engine.json — the nil-tracer checks are the only telemetry code
@@ -111,9 +126,10 @@ golden:
 	$(GO) test -run '^TestGoldenResults$$' -update -count=1 .
 	@echo "testdata/golden regenerated — review 'git diff testdata/golden/' before committing"
 
-# Short fuzz runs of the config-canonicalization and policy-parsing
-# fuzzers; part of `make ci`. The committed seed corpora live under
-# each package's testdata/fuzz/.
+# Short fuzz runs of the config-canonicalization, policy-parsing and
+# affinity-parsing fuzzers; part of `make ci`. The committed seed
+# corpora live under each package's testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCanonicalize$$' -fuzztime 10s ./internal/sim/
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime 10s ./internal/policy/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseAffinity$$' -fuzztime 10s ./internal/oscore/

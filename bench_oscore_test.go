@@ -1,0 +1,150 @@
+// Multi-OS-core trajectory bench, the writer behind `make bench-oscore`:
+// OFFLOADSIM_BENCH_OSCORE=BENCH_oscore.json go test -run
+// TestWriteBenchOSCoreJSON sweeps the off-load cluster size on a
+// 4-user-core apache run and records, per cell, aggregate throughput,
+// simulation wall speed and the off-load latency distribution pulled
+// from the telemetry event trace (docs/OSCORES.md). The host CPU count
+// is stamped into the file: the engine is single-goroutine, but wall
+// speeds are only comparable across hosts of the same class.
+package offloadsim_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"offloadsim"
+)
+
+// benchOSCoreCell is one cluster shape's row in BENCH_oscore.json.
+type benchOSCoreCell struct {
+	Name            string  `json:"name"`
+	K               int     `json:"os_cores"`
+	Async           bool    `json:"async,omitempty"`
+	Asymmetry       string  `json:"asymmetry,omitempty"`
+	Throughput      float64 `json:"throughput"`
+	Offloads        uint64  `json:"offloads"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimInstrsPerSec float64 `json:"sim_instrs_per_sec"`
+	// Off-load round-trip latency distribution in cycles (dispatch to
+	// return), from the telemetry event trace. Async cells instead
+	// distribute the reconciliation stalls their user cores paid.
+	LatencySource string  `json:"latency_source"`
+	LatencyCount  int     `json:"latency_count"`
+	LatencyP50    float64 `json:"latency_p50_cycles"`
+	LatencyP95    float64 `json:"latency_p95_cycles"`
+	LatencyMax    float64 `json:"latency_max_cycles"`
+}
+
+type benchOSCoreFile struct {
+	Sweep    string            `json:"sweep"`
+	HostCPUs int               `json:"host_cpus"`
+	Cells    []benchOSCoreCell `json:"cells"`
+}
+
+// benchOSCoreConfig builds the shared 4-user-core apache cell.
+func benchOSCoreConfig(tb testing.TB, block offloadsim.OSCores) offloadsim.Config {
+	prof, ok := offloadsim.WorkloadByName("apache")
+	if !ok {
+		tb.Fatal("apache profile missing")
+	}
+	cfg := offloadsim.DefaultConfig(prof)
+	cfg.Policy = offloadsim.HardwarePredictor
+	cfg.Threshold = 100
+	cfg.UserCores = 4
+	cfg.WarmupInstrs = 500_000
+	cfg.MeasureInstrs = 4_000_000
+	cfg.OSCores = block
+	return cfg
+}
+
+// cyclesPercentile reads the p-th percentile of a sorted slice.
+func cyclesPercentile(sorted []uint64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return float64(sorted[int(p*float64(len(sorted)-1))])
+}
+
+// TestWriteBenchOSCoreJSON is the engine of `make bench-oscore`. It is a
+// no-op unless OFFLOADSIM_BENCH_OSCORE names the output file, so plain
+// `go test` stays fast.
+func TestWriteBenchOSCoreJSON(t *testing.T) {
+	path := os.Getenv("OFFLOADSIM_BENCH_OSCORE")
+	if path == "" {
+		t.Skip("set OFFLOADSIM_BENCH_OSCORE=<file> to run the OS-core bench")
+	}
+	cells := []struct {
+		name  string
+		block offloadsim.OSCores
+	}{
+		{"k1-legacy", offloadsim.OSCores{}},
+		{"k2-sync", offloadsim.OSCores{Enabled: true, K: 2, Rebalance: true}},
+		{"k4-sync", offloadsim.OSCores{Enabled: true, K: 4, Rebalance: true}},
+		{"k4-async-biglittle", offloadsim.OSCores{
+			Enabled: true, K: 4, Async: true,
+			Asymmetry: "1,1,0.5,0.5", Rebalance: true,
+		}},
+	}
+	out := benchOSCoreFile{
+		Sweep:    "oscore-count apache 4 user cores HI N=100, K={1,2,4}+async",
+		HostCPUs: runtime.NumCPU(),
+	}
+	for _, cell := range cells {
+		cfg := benchOSCoreConfig(t, cell.block)
+		start := time.Now()
+		res, capt, err := offloadsim.RunTraced(cfg,
+			offloadsim.TelemetryOptions{Events: true, RingEvents: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(start)
+
+		// Sync cells distribute the full off-load round trip; async cells
+		// never price a round trip on the user core, so they distribute
+		// the reconciliation stalls instead.
+		wantKind, source := "offload_return", "offload_return cycles"
+		if cell.block.Async {
+			wantKind, source = "async_return", "async reconcile stall cycles"
+		}
+		var lats []uint64
+		for _, ev := range capt.Events {
+			if ev.Kind.String() == wantKind {
+				lats = append(lats, ev.Cycles)
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		out.Cells = append(out.Cells, benchOSCoreCell{
+			Name:            cell.name,
+			K:               max(cell.block.K, 1),
+			Async:           cell.block.Async,
+			Asymmetry:       cell.block.Asymmetry,
+			Throughput:      res.Throughput,
+			Offloads:        res.Offloads,
+			WallSeconds:     wall.Seconds(),
+			SimInstrsPerSec: float64(res.Instrs) / wall.Seconds(),
+			LatencySource:   source,
+			LatencyCount:    len(lats),
+			LatencyP50:      cyclesPercentile(lats, 0.50),
+			LatencyP95:      cyclesPercentile(lats, 0.95),
+			LatencyMax:      cyclesPercentile(lats, 1.0),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range out.Cells {
+		t.Logf("%s: throughput %.4f, %d off-loads, p50 %v / p95 %v cycles (%s)",
+			c.Name, c.Throughput, c.Offloads, c.LatencyP50, c.LatencyP95, c.LatencySource)
+	}
+}

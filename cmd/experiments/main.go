@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		quick = flag.Bool("quick", false, "reduced-scale smoke run")
-		only  = flag.String("only", "", "comma-separated subset: table1,table2,table3,figure1,figure2,figure3,figure4,figure5,scaling,ablation,sampling,parallel")
+		only  = flag.String("only", "", "comma-separated subset: table1,table2,table3,figure1,figure2,figure3,figure4,figure5,scaling,ablation,sampling,parallel,oscore,sensitivity")
 		seed  = flag.Uint64("seed", 1, "random seed")
 		plots = flag.Bool("plot", false, "also render Figure 4 as ASCII charts")
 	)
@@ -102,6 +102,12 @@ func main() {
 			acc.Sampling.Ratio = 25
 		}
 		experiments.SamplingAccuracy(acc).Render(out)
+	}
+	if selected("oscore") {
+		experiments.OSCoreCountSweep(opt).Render(out)
+	}
+	if selected("sensitivity") {
+		experiments.OSCoreSensitivity(opt).Render(out)
 	}
 	if selected("parallel") {
 		acc := experiments.ParallelAccuracyOptions{}

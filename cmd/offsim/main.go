@@ -46,6 +46,13 @@ func main() {
 		traceFmt   = flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable) or jsonl")
 		seriesFile = flag.String("timeseries", "", "write the interval time-series to this CSV file")
 		traceIval  = flag.Uint64("trace-interval", 50_000, "time-series sampling cadence in retired instructions (with -timeseries)")
+		osCores    = flag.Int("os-cores", 1, "OS cores in the off-load cluster (docs/OSCORES.md)")
+		affinity   = flag.String("affinity", "", "syscall-class affinity map, e.g. 'file=0,network=1,*=0' (requires -os-cores > 1)")
+		asymmetry  = flag.String("asymmetry", "", "per-OS-core speed factors, e.g. '1,0.5' (big/little cluster)")
+		async      = flag.Bool("async", false, "fire-and-forget off-load for side-effect-only syscall classes")
+		asyncSlots = flag.Int("async-slots", 0, "outstanding async off-loads per user core (0 = default, requires -async)")
+		depthN     = flag.Int("depth-n", 0, "queue-depth threshold penalty per backlogged request (dynamic-N extension)")
+		rebalance  = flag.Bool("rebalance", false, "route to a strictly less-backlogged OS core over the designated one")
 	)
 	flag.Parse()
 
@@ -76,6 +83,13 @@ func main() {
 	if *seriesFile != "" && *traceIval == 0 {
 		fatalUsage("-trace-interval must be positive with -timeseries")
 	}
+	oscoresBlock, oscErr := oscoresFlags{
+		K: *osCores, Affinity: *affinity, Asymmetry: *asymmetry,
+		Async: *async, AsyncSlots: *asyncSlots, DepthN: *depthN, Rebalance: *rebalance,
+	}.block()
+	if oscErr != nil {
+		fatalUsage("%v", oscErr)
+	}
 	if flag.NArg() > 0 {
 		fatalUsage("unexpected arguments: %s", strings.Join(flag.Args(), " "))
 	}
@@ -101,6 +115,7 @@ func main() {
 	cfg.InstrumentOnly = *instrOnly
 	cfg.DirectMappedPredictor = *dmPred
 	cfg.OSCoreSlots = *osSlots
+	cfg.OSCores = oscoresBlock
 	if *moesi {
 		cc := offloadsim.DefaultCoherenceConfig()
 		cc.Protocol = offloadsim.MOESI

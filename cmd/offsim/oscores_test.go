@@ -1,0 +1,169 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"offloadsim"
+)
+
+// TestOSCoresFlagBlock exercises the up-front validation of the
+// -os-cores/-affinity/-asymmetry flag family: every rejection must name
+// the offending flag, and accepted combinations must build the exact
+// Config block the engine will see.
+func TestOSCoresFlagBlock(t *testing.T) {
+	cases := []struct {
+		name    string
+		flags   oscoresFlags
+		want    offloadsim.OSCores
+		wantErr string // substring of the error, "" for success
+	}{
+		{
+			name:  "defaults collapse to the legacy single-OS-core model",
+			flags: oscoresFlags{K: 1},
+			want:  offloadsim.OSCores{},
+		},
+		{
+			name:  "plain k=2 cluster",
+			flags: oscoresFlags{K: 2},
+			want:  offloadsim.OSCores{Enabled: true, K: 2},
+		},
+		{
+			name:  "k=1 with async still enables the cluster model",
+			flags: oscoresFlags{K: 1, Async: true},
+			want:  offloadsim.OSCores{Enabled: true, K: 1, Async: true},
+		},
+		{
+			name:  "explicit affinity and asymmetry carried through",
+			flags: oscoresFlags{K: 2, Affinity: "file=0,network=1", Asymmetry: "1,0.5"},
+			want: offloadsim.OSCores{
+				Enabled: true, K: 2,
+				Affinity: "file=0,network=1", Asymmetry: "1,0.5",
+			},
+		},
+		{
+			name:  "wildcard affinity",
+			flags: oscoresFlags{K: 4, Affinity: "*=0,trap=3"},
+			want:  offloadsim.OSCores{Enabled: true, K: 4, Affinity: "*=0,trap=3"},
+		},
+		{
+			name:  "async slots with async",
+			flags: oscoresFlags{K: 2, Async: true, AsyncSlots: 4},
+			want:  offloadsim.OSCores{Enabled: true, K: 2, Async: true, AsyncSlots: 4},
+		},
+		{
+			name:  "depth-n and rebalance carried through",
+			flags: oscoresFlags{K: 2, DepthN: 500, Rebalance: true},
+			want:  offloadsim.OSCores{Enabled: true, K: 2, DepthN: 500, Rebalance: true},
+		},
+		{
+			name:    "zero os-cores",
+			flags:   oscoresFlags{K: 0},
+			wantErr: "-os-cores must be >= 1",
+		},
+		{
+			name:    "negative os-cores",
+			flags:   oscoresFlags{K: -3},
+			wantErr: "-os-cores must be >= 1",
+		},
+		{
+			name:    "os-cores beyond the cap",
+			flags:   oscoresFlags{K: offloadsim.MaxOSCores + 1},
+			wantErr: "-os-cores must be <=",
+		},
+		{
+			name:    "affinity core index out of range",
+			flags:   oscoresFlags{K: 2, Affinity: "file=2"},
+			wantErr: "-affinity:",
+		},
+		{
+			name:    "affinity unknown class",
+			flags:   oscoresFlags{K: 2, Affinity: "disk=0"},
+			wantErr: "-affinity:",
+		},
+		{
+			name:    "affinity duplicate class",
+			flags:   oscoresFlags{K: 2, Affinity: "file=0,file=1"},
+			wantErr: "-affinity:",
+		},
+		{
+			name:    "affinity missing equals",
+			flags:   oscoresFlags{K: 2, Affinity: "file"},
+			wantErr: "-affinity:",
+		},
+		{
+			name:    "asymmetry wrong arity",
+			flags:   oscoresFlags{K: 4, Asymmetry: "1,0.5"},
+			wantErr: "-asymmetry:",
+		},
+		{
+			name:    "asymmetry factor out of range",
+			flags:   oscoresFlags{K: 2, Asymmetry: "1,100"},
+			wantErr: "-asymmetry:",
+		},
+		{
+			name:    "asymmetry not a number",
+			flags:   oscoresFlags{K: 2, Asymmetry: "1,fast"},
+			wantErr: "-asymmetry:",
+		},
+		{
+			name:    "negative async slots",
+			flags:   oscoresFlags{K: 2, Async: true, AsyncSlots: -1},
+			wantErr: "-async-slots must be >= 0",
+		},
+		{
+			name:    "async slots without async",
+			flags:   oscoresFlags{K: 2, AsyncSlots: 2},
+			wantErr: "-async-slots requires -async",
+		},
+		{
+			name:    "negative depth-n",
+			flags:   oscoresFlags{K: 2, DepthN: -1},
+			wantErr: "-depth-n must be >= 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.flags.block()
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("block() = %+v, want error containing %q", got, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("block() error = %q, want it to contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("block() unexpected error: %v", err)
+			}
+			if got != tc.want {
+				t.Fatalf("block() = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestOSCoresFlagBlockPassesConfigValidate: every block the flag layer
+// accepts must also be accepted by the engine's own Config.Validate —
+// the up-front check is a better error message, never a different rule.
+func TestOSCoresFlagBlockPassesConfigValidate(t *testing.T) {
+	accepted := []oscoresFlags{
+		{K: 1},
+		{K: 2},
+		{K: 4, Affinity: "*=1", Asymmetry: "2"},
+		{K: 2, Async: true, AsyncSlots: 8, DepthN: 100, Rebalance: true},
+	}
+	prof, _ := offloadsim.WorkloadByName("apache")
+	for _, f := range accepted {
+		blk, err := f.block()
+		if err != nil {
+			t.Fatalf("block(%+v): %v", f, err)
+		}
+		cfg := offloadsim.DefaultConfig(prof)
+		cfg.OSCores = blk
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Config.Validate rejected flag-accepted block %+v: %v", f, err)
+		}
+	}
+}

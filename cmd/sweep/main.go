@@ -40,6 +40,7 @@ type Row struct {
 	OSL2Hit    float64 `json:"os_l2_hit"`
 	C2C        uint64  `json:"c2c_transfers"`
 	QueueMean  float64 `json:"queue_mean_cyc"`
+	OSCores    int     `json:"os_cores,omitempty"`
 	Joules     float64 `json:"joules,omitempty"`
 	EDP        float64 `json:"edp,omitempty"`
 }
@@ -63,6 +64,12 @@ func main() {
 		memProfile    = flag.String("memprofile", "", "write an end-of-sweep heap profile to this file (pprof format)")
 		telemetryDir  = flag.String("telemetry-dir", "", "write a per-point interval time-series CSV into this directory (docs/TELEMETRY.md; incompatible with -sampled)")
 		telemetryIval = flag.Uint64("telemetry-interval", 50_000, "time-series sampling cadence in retired instructions (with -telemetry-dir)")
+		osCoresFlag   = flag.String("os-cores", "1", "comma-separated OS-core cluster sizes as a sweep axis (docs/OSCORES.md)")
+		affinityFlag  = flag.String("affinity", "", "syscall-class affinity map applied to every sweep point, e.g. 'file=0,*=1'")
+		asymFlag      = flag.String("asymmetry", "", "per-OS-core speed factors applied to every sweep point, e.g. '1,0.5'")
+		asyncFlag     = flag.Bool("async", false, "fire-and-forget off-load for side-effect-only syscall classes")
+		depthNFlag    = flag.Int("depth-n", 0, "queue-depth threshold penalty per backlogged request")
+		rebalFlag     = flag.Bool("rebalance", false, "route to a strictly less-backlogged OS core over the designated one")
 	)
 	flag.Parse()
 
@@ -97,6 +104,15 @@ func main() {
 	}
 	if *workers < 1 {
 		fail("-workers must be >= 1")
+	}
+	oscoreKs, oscoreBlocks, err := oscoreAxis(*osCoresFlag, *affinityFlag, *asymFlag,
+		*asyncFlag, *depthNFlag, *rebalFlag)
+	if err != nil {
+		fail(err.Error())
+	}
+	withOSCores := oscoreMode(oscoreBlocks)
+	if withOSCores && *parEngine {
+		fail("-parallel is incompatible with the multi-OS-core cluster model (-os-cores/-affinity/-asymmetry/-async)")
 	}
 	if *telemetryDir != "" && *sampled {
 		fail("-telemetry-dir requires cycle-accurate execution (incompatible with -sampled)")
@@ -193,6 +209,7 @@ func main() {
 		wl     string
 		kind   offloadsim.PolicyKind
 		n, lat int
+		osi    int // index into oscoreKs/oscoreBlocks
 	}
 	var points []point
 	for _, wl := range wls {
@@ -203,7 +220,9 @@ func main() {
 			}
 			for _, n := range ns {
 				for _, lat := range lats {
-					points = append(points, point{wl, kind, n, lat})
+					for osi := range oscoreKs {
+						points = append(points, point{wl, kind, n, lat, osi})
+					}
 				}
 			}
 		}
@@ -214,6 +233,7 @@ func main() {
 		cfg.Policy = p.kind
 		cfg.Threshold = p.n
 		cfg.Migration = offloadsim.CustomMigration(p.lat)
+		cfg.OSCores = oscoreBlocks[p.osi]
 		if *telemetryDir != "" {
 			// Telemetry is attachment-only, so the traced rows are
 			// byte-identical to an untraced sweep of the same grid; the
@@ -255,6 +275,9 @@ func main() {
 			C2C:        res.C2CTransfers,
 			QueueMean:  res.MeanQueueDelay,
 		}
+		if withOSCores {
+			row.OSCores = oscoreKs[p.osi]
+		}
 		if *energy {
 			if rep, err := offloadsim.Energy(res, model); err == nil {
 				row.Joules = rep.Joules
@@ -272,23 +295,30 @@ func main() {
 			fail(err.Error())
 		}
 	case "csv":
-		writeCSV(rows, *energy)
+		writeCSV(rows, *energy, withOSCores)
 	default:
 		fail("format must be csv or json")
 	}
 }
 
-func writeCSV(rows []Row, energy bool) {
-	head := "workload,policy,threshold,one_way_latency,throughput,normalized,offload_pct,os_util_pct,user_l2_hit,os_l2_hit,c2c_transfers,queue_mean_cyc"
+func writeCSV(rows []Row, energy, oscores bool) {
+	head := "workload,policy,threshold,one_way_latency"
+	if oscores {
+		head += ",os_cores"
+	}
+	head += ",throughput,normalized,offload_pct,os_util_pct,user_l2_hit,os_l2_hit,c2c_transfers,queue_mean_cyc"
 	if energy {
 		head += ",joules,edp"
 	}
 	fmt.Println(head)
 	for _, r := range rows {
-		fmt.Printf("%s,%s,%d,%d,%.6f,%.4f,%.2f,%.2f,%.4f,%.4f,%d,%.1f",
-			r.Workload, r.Policy, r.Threshold, r.OneWay, r.Throughput,
-			r.Normalized, r.OffloadPct, r.OSUtilPct, r.UserL2Hit, r.OSL2Hit,
-			r.C2C, r.QueueMean)
+		fmt.Printf("%s,%s,%d,%d", r.Workload, r.Policy, r.Threshold, r.OneWay)
+		if oscores {
+			fmt.Printf(",%d", r.OSCores)
+		}
+		fmt.Printf(",%.6f,%.4f,%.2f,%.2f,%.4f,%.4f,%d,%.1f",
+			r.Throughput, r.Normalized, r.OffloadPct, r.OSUtilPct,
+			r.UserL2Hit, r.OSL2Hit, r.C2C, r.QueueMean)
 		if energy {
 			fmt.Printf(",%.6g,%.6g", r.Joules, r.EDP)
 		}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+
+	"offloadsim"
+)
+
+// oscoreAxis validates the -os-cores comma list against the scalar
+// cluster flags (-affinity/-asymmetry/-async/-depth-n/-rebalance apply
+// to every K on the axis) and returns, per K, the Config block the grid
+// points will run with. Validation happens up front as a unit because
+// the flags constrain each other: affinity core indexes and asymmetry
+// arity must fit every K on the axis, and a bad combination must fail
+// before any simulation starts. K=1 with no scalar flags set collapses
+// to the disabled zero block — the classic single-OS-core model.
+func oscoreAxis(list, affinity, asymmetry string, async bool, depthN int, rebalance bool) ([]int, []offloadsim.OSCores, error) {
+	ks, err := splitInts(list)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad -os-cores: %v", err)
+	}
+	if len(ks) == 0 {
+		return nil, nil, fmt.Errorf("-os-cores needs at least one value")
+	}
+	if depthN < 0 {
+		return nil, nil, fmt.Errorf("-depth-n must be >= 0 (got %d)", depthN)
+	}
+	seen := make(map[int]bool, len(ks))
+	blocks := make([]offloadsim.OSCores, 0, len(ks))
+	for _, k := range ks {
+		if k < 1 {
+			return nil, nil, fmt.Errorf("-os-cores values must be >= 1 (got %d)", k)
+		}
+		if k > offloadsim.MaxOSCores {
+			return nil, nil, fmt.Errorf("-os-cores values must be <= %d (got %d)", offloadsim.MaxOSCores, k)
+		}
+		if seen[k] {
+			return nil, nil, fmt.Errorf("duplicate -os-cores value %d", k)
+		}
+		seen[k] = true
+		if err := offloadsim.ValidateAffinity(affinity, k); err != nil {
+			return nil, nil, fmt.Errorf("-affinity (at k=%d): %v", k, err)
+		}
+		if err := offloadsim.ValidateAsymmetry(asymmetry, k); err != nil {
+			return nil, nil, fmt.Errorf("-asymmetry (at k=%d): %v", k, err)
+		}
+		if k == 1 && affinity == "" && asymmetry == "" && !async && depthN == 0 && !rebalance {
+			blocks = append(blocks, offloadsim.OSCores{})
+			continue
+		}
+		blocks = append(blocks, offloadsim.OSCores{
+			Enabled: true, K: k,
+			Affinity: affinity, Asymmetry: asymmetry,
+			Async: async, DepthN: depthN, Rebalance: rebalance,
+		})
+	}
+	return ks, blocks, nil
+}
+
+// oscoreMode reports whether the axis departs from the classic
+// single-OS-core model; it gates the extra os_cores export column so
+// legacy sweeps keep byte-identical output.
+func oscoreMode(blocks []offloadsim.OSCores) bool {
+	for _, b := range blocks {
+		if b.Enabled {
+			return true
+		}
+	}
+	return len(blocks) != 1
+}

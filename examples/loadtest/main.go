@@ -23,6 +23,10 @@
 //	    -addrs http://localhost:8080,http://localhost:8081,http://localhost:8082 \
 //	    -jobs 120 -p95-max 5s -hit-min 0.5
 //
+//	# multi-OS-core cluster scenario (docs/OSCORES.md):
+//	go run ./examples/loadtest -addrs http://localhost:8080 \
+//	    -os-cores 2 -asymmetry 1,0.5 -async -jobs 48
+//
 // Specs are drawn from a small sweep grid with deliberate repeats, so a
 // healthy run shows a rising cache-hit ratio as the grid fills in. In a
 // fleet, submissions round-robin across replicas and each job is polled
@@ -50,6 +54,11 @@ type jobSpec struct {
 	Policy        string `json:"policy,omitempty"`
 	Threshold     *int   `json:"threshold,omitempty"`
 	LatencyCycles *int   `json:"latency_cycles,omitempty"`
+	Cores         int    `json:"cores,omitempty"`
+	OSCores       int    `json:"os_cores,omitempty"`
+	Affinity      string `json:"affinity,omitempty"`
+	Asymmetry     string `json:"asymmetry,omitempty"`
+	Async         bool   `json:"async,omitempty"`
 	WarmupInstrs  uint64 `json:"warmup_instrs"`
 	MeasureInstrs uint64 `json:"measure_instrs"`
 	Seed          uint64 `json:"seed"`
@@ -92,6 +101,10 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-job completion deadline")
 		p95Max    = flag.Duration("p95-max", 0, "SLO: exit non-zero if p95 latency exceeds this (0 disables)")
 		hitMin    = flag.Float64("hit-min", -1, "SLO: exit non-zero if the fleet cache-hit ratio falls below this fraction (<0 disables)")
+		osCores   = flag.Int("os-cores", 0, "run the grid against a K-core off-load cluster (0 = classic single OS core; docs/OSCORES.md)")
+		affinity  = flag.String("affinity", "", "syscall-class affinity map for the cluster scenario")
+		asymmetry = flag.String("asymmetry", "", "per-OS-core speed factors for the cluster scenario")
+		async     = flag.Bool("async", false, "fire-and-forget off-load for side-effect-only syscall classes")
 	)
 	flag.Parse()
 	if *k < 1 || *jobs < 1 || *seeds < 1 || *measure == 0 {
@@ -136,7 +149,7 @@ func main() {
 	specFor := func(i int) jobSpec {
 		g := grid[i%len(grid)]
 		thr := g.threshold
-		return jobSpec{
+		spec := jobSpec{
 			Workload:      g.workload,
 			Policy:        "HI",
 			Threshold:     &thr,
@@ -145,6 +158,17 @@ func main() {
 			MeasureInstrs: *measure,
 			Seed:          g.seed,
 		}
+		if *osCores > 0 || *affinity != "" || *asymmetry != "" || *async {
+			// Cluster scenario: every grid point off-loads into a K-core
+			// OS cluster, exercising the daemon's os_cores job surface and
+			// the per-class queue-depth gauge under load.
+			spec.Cores = 2
+			spec.OSCores = *osCores
+			spec.Affinity = *affinity
+			spec.Asymmetry = *asymmetry
+			spec.Async = *async
+		}
+		return spec
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}

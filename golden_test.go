@@ -120,6 +120,35 @@ func goldenCases() []goldenCase {
 					sampled: true,
 					cfg:     pscfg,
 				})
+				// Multi-OS-core cluster cells (docs/OSCORES.md). The K=2
+				// synchronous cell pins affinity routing, per-core queueing
+				// and backlog rebalancing; the K=4 async cell additionally
+				// pins big/little execution scaling, fire-and-forget
+				// dispatch with reconciliation pricing, and the
+				// queue-depth threshold feedback — the full surface of the
+				// heterogeneous off-load model, byte-for-byte.
+				o2cfg := cfg
+				o2cfg.UserCores = 2
+				o2cfg.OSCores = offloadsim.OSCores{Enabled: true, K: 2, Rebalance: true}
+				cases = append(cases, goldenCase{
+					name: fmt.Sprintf("%s_oscore2_detailed", wl),
+					cfg:  o2cfg,
+				})
+				o4cfg := cfg
+				o4cfg.UserCores = 4
+				o4cfg.OSCores = offloadsim.OSCores{
+					Enabled:   true,
+					K:         4,
+					Affinity:  "trap=0,identity=0,file=1,network=2,*=3",
+					Asymmetry: "1,1,0.5,0.5",
+					Async:     true,
+					DepthN:    200,
+					Rebalance: true,
+				}
+				cases = append(cases, goldenCase{
+					name: fmt.Sprintf("%s_oscore4_async_detailed", wl),
+					cfg:  o4cfg,
+				})
 			}
 		}
 	}

@@ -156,6 +156,7 @@ type Row struct {
 	OSL2Hit    float64 `json:"os_l2_hit"`
 	C2C        uint64  `json:"c2c_transfers"`
 	QueueMean  float64 `json:"queue_mean_cyc"`
+	OSCores    int     `json:"os_cores,omitempty"`
 }
 
 // BuildRow shapes a simulation result into the export row. baseline is
@@ -177,6 +178,9 @@ func BuildRow(p Point, res sim.Result, baseline float64) Row {
 	}
 	if baseline > 0 {
 		row.Normalized = res.Throughput / baseline
+	}
+	if res.OSCores != nil {
+		row.OSCores = res.OSCores.K
 	}
 	return row
 }

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"offloadsim/internal/policy"
+	"offloadsim/internal/sim"
+	"offloadsim/internal/stats"
+)
+
+// OSCoreCountResult holds the multi-OS-core scaling study: every plotted
+// group run with 4 user cores off-loading into clusters of K = 1, 2 and
+// 4 OS cores (docs/OSCORES.md). It extends the paper's §V-C observation
+// — a single OS core saturates under 4 user cores — with the obvious
+// next question the paper leaves open: how much of the lost throughput
+// does adding OS cores buy back, and where does the queueing collapse?
+type OSCoreCountResult struct {
+	Groups []string
+	Ks     []int
+	// Normalized[g][k] is geometric-mean throughput over the group's
+	// members, each normalized to its own single-core baseline.
+	Normalized [][]float64
+	// MeanQueueDelay[g][k] is the arithmetic-mean off-load queue delay
+	// in cycles over the group's members.
+	MeanQueueDelay [][]float64
+	// OSUtilization[g][k] is the mean busy fraction of the cluster
+	// (pooled over its K cores).
+	OSUtilization [][]float64
+}
+
+// OSCoreCountSweep runs the study: HI policy at N=100, 100-cycle
+// migration, 4 user cores, backlog rebalancing on so the added cores
+// actually absorb load.
+func OSCoreCountSweep(o Options) OSCoreCountResult {
+	res := OSCoreCountResult{Groups: GroupNames(), Ks: []int{1, 2, 4}}
+	for _, group := range res.Groups {
+		var norms, queues, utils []float64
+		for _, k := range res.Ks {
+			var memberNorms []float64
+			var queueSum, utilSum float64
+			members := o.groupProfiles(group)
+			for _, prof := range members {
+				base := o.baselineThroughput(prof)
+				cfg := o.baseConfig(prof, policy.HardwarePredictor, 100, 100)
+				cfg.UserCores = 4
+				if k > 1 {
+					cfg.OSCores = sim.OSCores{Enabled: true, K: k, Rebalance: true}
+				}
+				r := o.run(cfg)
+				if base > 0 {
+					memberNorms = append(memberNorms, r.Throughput/base)
+				}
+				queueSum += r.MeanQueueDelay
+				utilSum += r.OSCoreUtilization
+			}
+			norms = append(norms, stats.GeoMean(memberNorms))
+			queues = append(queues, queueSum/float64(len(members)))
+			utils = append(utils, utilSum/float64(len(members)))
+		}
+		res.Normalized = append(res.Normalized, norms)
+		res.MeanQueueDelay = append(res.MeanQueueDelay, queues)
+		res.OSUtilization = append(res.OSUtilization, utils)
+	}
+	return res
+}
+
+// Render writes the OS-core-count table.
+func (r OSCoreCountResult) Render(w io.Writer) {
+	header := []string{"group"}
+	for _, k := range r.Ks {
+		header = append(header,
+			fmt.Sprintf("K=%d norm", k),
+			fmt.Sprintf("K=%d queue", k),
+			fmt.Sprintf("K=%d util", k))
+	}
+	var rows [][]string
+	for gi, g := range r.Groups {
+		row := []string{g}
+		for ki := range r.Ks {
+			row = append(row,
+				fmt.Sprintf("%.3f", r.Normalized[gi][ki]),
+				fmt.Sprintf("%.0f cyc", r.MeanQueueDelay[gi][ki]),
+				fmt.Sprintf("%.1f%%", 100*r.OSUtilization[gi][ki]))
+		}
+		rows = append(rows, row)
+	}
+	renderTable(w, "OS-core-count sweep: 4 user cores, HI N=100, 100-cycle off-load, K OS cores with rebalancing",
+		header, rows)
+}
+
+// OSCoreSensitivityResult holds the heterogeneous-cluster sensitivity
+// grid: each server workload swept over migration latency and OS-core
+// speed asymmetry at fixed K=2, in the style of Kallurkar's
+// sensitivity studies (PAPERS.md). The grid answers whether off-loading
+// survives slow little OS cores: the big/little factors model dedicating
+// cheap low-power cores to OS work, and the latency axis prices how far
+// away they sit.
+type OSCoreSensitivityResult struct {
+	Workloads   []string
+	Latencies   []int
+	Asymmetries []string
+	// Normalized[w][l][a] is throughput normalized to the workload's
+	// single-core baseline.
+	Normalized [][][]float64
+}
+
+// OSCoreSensitivity runs the grid: K=2, 4 user cores, HI at N=100.
+func OSCoreSensitivity(o Options) OSCoreSensitivityResult {
+	res := OSCoreSensitivityResult{
+		Workloads:   append([]string{}, serverNames...),
+		Latencies:   []int{100, 1000, 5000},
+		Asymmetries: []string{"1,1", "1,0.5", "0.5,0.5"},
+	}
+	for _, wl := range res.Workloads {
+		prof := o.groupProfiles(wl)[0]
+		base := o.baselineThroughput(prof)
+		var wlGrid [][]float64
+		for _, lat := range res.Latencies {
+			var latRow []float64
+			for _, asym := range res.Asymmetries {
+				cfg := o.baseConfig(prof, policy.HardwarePredictor, 100, lat)
+				cfg.UserCores = 4
+				cfg.OSCores = sim.OSCores{
+					Enabled: true, K: 2, Asymmetry: asym, Rebalance: true,
+				}
+				r := o.run(cfg)
+				norm := 0.0
+				if base > 0 {
+					norm = r.Throughput / base
+				}
+				latRow = append(latRow, norm)
+			}
+			wlGrid = append(wlGrid, latRow)
+		}
+		res.Normalized = append(res.Normalized, wlGrid)
+	}
+	return res
+}
+
+// Render writes one latency × asymmetry table per workload.
+func (r OSCoreSensitivityResult) Render(w io.Writer) {
+	for wi, wl := range r.Workloads {
+		header := []string{"latency"}
+		for _, a := range r.Asymmetries {
+			header = append(header, "asym "+a)
+		}
+		var rows [][]string
+		for li, lat := range r.Latencies {
+			row := []string{fmt.Sprintf("%d cyc", lat)}
+			for ai := range r.Asymmetries {
+				row = append(row, fmt.Sprintf("%.3f", r.Normalized[wi][li][ai]))
+			}
+			rows = append(rows, row)
+		}
+		renderTable(w, fmt.Sprintf("OS-core sensitivity grid [%s]: K=2, 4 user cores, HI N=100, normalized throughput", wl),
+			header, rows)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestOSCoreCountSweepShape(t *testing.T) {
+	r := OSCoreCountSweep(QuickOptions())
+	if len(r.Groups) != 4 || len(r.Ks) != 3 {
+		t.Fatalf("dims: %d groups, %d Ks", len(r.Groups), len(r.Ks))
+	}
+	for gi, g := range r.Groups {
+		if len(r.Normalized[gi]) != len(r.Ks) || len(r.MeanQueueDelay[gi]) != len(r.Ks) ||
+			len(r.OSUtilization[gi]) != len(r.Ks) {
+			t.Fatalf("%s: row dims wrong", g)
+		}
+		for ki, k := range r.Ks {
+			if r.Normalized[gi][ki] <= 0 {
+				t.Errorf("%s K=%d: non-positive normalized throughput", g, k)
+			}
+			if u := r.OSUtilization[gi][ki]; u < 0 || u > 1 {
+				t.Errorf("%s K=%d: utilization %v out of range", g, k, u)
+			}
+		}
+		// More OS cores must never increase queueing pressure: the same
+		// off-load stream spreads over a deeper cluster (small tolerance
+		// for routing noise at quick scale).
+		if r.MeanQueueDelay[gi][2] > r.MeanQueueDelay[gi][0]*1.05+1 {
+			t.Errorf("%s: queue delay grew with K: %v", g, r.MeanQueueDelay[gi])
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "OS-core-count sweep") {
+		t.Error("render missing title")
+	}
+}
+
+func TestOSCoreSensitivityShape(t *testing.T) {
+	r := OSCoreSensitivity(QuickOptions())
+	if len(r.Workloads) != 3 || len(r.Latencies) != 3 || len(r.Asymmetries) != 3 {
+		t.Fatalf("dims: %d x %d x %d", len(r.Workloads), len(r.Latencies), len(r.Asymmetries))
+	}
+	for wi, wl := range r.Workloads {
+		for li, lat := range r.Latencies {
+			for ai, asym := range r.Asymmetries {
+				v := r.Normalized[wi][li][ai]
+				if v <= 0 || v > 6 {
+					t.Errorf("%s lat=%d asym=%s: normalized %v implausible", wl, lat, asym, v)
+				}
+			}
+		}
+		// At the cheapest latency, a symmetric cluster must not lose to
+		// one whose OS cores both run at half speed (small tolerance for
+		// interleaving noise at quick scale).
+		if r.Normalized[wi][0][2] > r.Normalized[wi][0][0]*1.05 {
+			t.Errorf("%s: half-speed cluster (%v) beat symmetric (%v)",
+				wl, r.Normalized[wi][0][2], r.Normalized[wi][0][0])
+		}
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	for _, wl := range r.Workloads {
+		if !strings.Contains(out, "["+wl+"]") {
+			t.Errorf("render missing %s grid", wl)
+		}
+	}
+}

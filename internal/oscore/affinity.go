@@ -1,0 +1,132 @@
+package oscore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"offloadsim/internal/syscalls"
+)
+
+// Affinity maps each syscall category to the index of its designated OS
+// core (queue).
+type Affinity [syscalls.NumCategories]int
+
+// DefaultAffinity spreads the categories round-robin across k queues
+// (category index mod k) — the deterministic default when no map is
+// configured.
+func DefaultAffinity(k int) Affinity {
+	var a Affinity
+	for i := range a {
+		a[i] = i % k
+	}
+	return a
+}
+
+// ParseAffinity parses a deterministic affinity map for k OS cores from
+// its config string form: a comma-separated list of class=core pairs,
+// where class is a syscall category name (trap, identity, file, network,
+// memory, process, ipc, time) or the wildcard "*" setting the default for
+// every class not listed explicitly. Classes absent from the map (and
+// not covered by a wildcard) spread round-robin by category index. The
+// empty string is the pure round-robin default. Examples, for k=2:
+//
+//	"file=0,network=1"        // I/O split, everything else round-robin
+//	"*=0,trap=1"              // traps isolated, all else on core 0
+//
+// Duplicate classes, unknown names, malformed pairs and core indexes
+// outside [0,k) are errors.
+func ParseAffinity(s string, k int) (Affinity, error) {
+	if k < 1 {
+		return Affinity{}, fmt.Errorf("oscore: affinity needs k >= 1 (got %d)", k)
+	}
+	a := DefaultAffinity(k)
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return a, nil
+	}
+	seen := map[string]bool{}
+	var explicit [syscalls.NumCategories]bool
+	wildcard := -1
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Affinity{}, fmt.Errorf("oscore: empty affinity entry in %q", s)
+		}
+		name, val, found := strings.Cut(part, "=")
+		if !found {
+			return Affinity{}, fmt.Errorf("oscore: affinity entry %q is not class=core", part)
+		}
+		name = strings.TrimSpace(name)
+		core, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return Affinity{}, fmt.Errorf("oscore: affinity entry %q: bad core index", part)
+		}
+		if core < 0 || core >= k {
+			return Affinity{}, fmt.Errorf("oscore: affinity entry %q: core %d outside [0,%d)", part, core, k)
+		}
+		if seen[name] {
+			return Affinity{}, fmt.Errorf("oscore: duplicate affinity class %q", name)
+		}
+		seen[name] = true
+		if name == "*" {
+			wildcard = core
+			continue
+		}
+		cat, ok := categoryByName(name)
+		if !ok {
+			return Affinity{}, fmt.Errorf("oscore: unknown syscall class %q (have: %s and \"*\")",
+				name, strings.Join(CategoryNames(), ", "))
+		}
+		a[cat] = core
+		explicit[cat] = true
+	}
+	if wildcard >= 0 {
+		for i := range a {
+			if !explicit[i] {
+				a[i] = wildcard
+			}
+		}
+	}
+	return a, nil
+}
+
+// CanonicalAffinity re-renders an affinity string into canonical form:
+// parsed, resolved (wildcards and defaults applied) and written as the
+// full explicit map in category order — except when the resolved map
+// equals the round-robin default, which renders as "", so a blank and a
+// spelled-out default share one canonical key.
+func CanonicalAffinity(s string, k int) (string, error) {
+	a, err := ParseAffinity(s, k)
+	if err != nil {
+		return "", err
+	}
+	if a == DefaultAffinity(k) {
+		return "", nil
+	}
+	parts := make([]string, syscalls.NumCategories)
+	for i := range a {
+		parts[i] = syscalls.Category(i).String() + "=" + strconv.Itoa(a[i])
+	}
+	return strings.Join(parts, ","), nil
+}
+
+// CategoryNames lists the syscall category names in catalog order — the
+// valid affinity classes.
+func CategoryNames() []string {
+	out := make([]string, syscalls.NumCategories)
+	for i := range out {
+		out[i] = syscalls.Category(i).String()
+	}
+	return out
+}
+
+// categoryByName resolves a category name.
+func categoryByName(name string) (syscalls.Category, bool) {
+	for i := 0; i < syscalls.NumCategories; i++ {
+		if syscalls.Category(i).String() == name {
+			return syscalls.Category(i), true
+		}
+	}
+	return 0, false
+}

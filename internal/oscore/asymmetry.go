@@ -1,0 +1,87 @@
+package oscore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Speed-factor bounds. A factor below 1 is a "little" core (OS execution
+// takes proportionally more reference-clock cycles), above 1 a "big"
+// core. The bounds reject typos (0, negatives, reversed ratios like 50
+// for 0.5) rather than constrain modeling: real DVFS/heterogeneity spans
+// well under a 16x spread.
+const (
+	MinSpeed = 1.0 / 16
+	MaxSpeed = 16.0
+)
+
+// SymmetricSpeeds returns k speed factors of 1.0.
+func SymmetricSpeeds(k int) []float64 {
+	s := make([]float64, k)
+	for i := range s {
+		s[i] = 1
+	}
+	return s
+}
+
+// ParseAsymmetry parses per-OS-core speed factors from the config string
+// form: a comma-separated list of k positive factors relative to the
+// user cores ("1,0.5" = one full-speed core and one half-speed little
+// core). The empty string is symmetric (all 1.0). A single factor
+// broadcasts to all k cores. Anything else must list exactly k values
+// inside [1/16, 16].
+func ParseAsymmetry(s string, k int) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("oscore: asymmetry needs k >= 1 (got %d)", k)
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return SymmetricSpeeds(k), nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != k && len(parts) != 1 {
+		return nil, fmt.Errorf("oscore: asymmetry %q lists %d factors for %d OS cores", s, len(parts), k)
+	}
+	speeds := make([]float64, 0, k)
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("oscore: asymmetry factor %q is not a number", strings.TrimSpace(part))
+		}
+		if v < MinSpeed || v > MaxSpeed {
+			return nil, fmt.Errorf("oscore: asymmetry factor %g outside [%g, %g]", v, MinSpeed, MaxSpeed)
+		}
+		speeds = append(speeds, v)
+	}
+	for len(speeds) < k {
+		speeds = append(speeds, speeds[0])
+	}
+	return speeds, nil
+}
+
+// CanonicalAsymmetry re-renders an asymmetry string into canonical form:
+// parsed, broadcast and written as exactly k shortest-form factors — or
+// "" when every factor is 1.0, so a blank and a spelled-out "1,1" share
+// one canonical key.
+func CanonicalAsymmetry(s string, k int) (string, error) {
+	speeds, err := ParseAsymmetry(s, k)
+	if err != nil {
+		return "", err
+	}
+	symmetric := true
+	for _, v := range speeds {
+		if v != 1 {
+			symmetric = false
+			break
+		}
+	}
+	if symmetric {
+		return "", nil
+	}
+	parts := make([]string, len(speeds))
+	for i, v := range speeds {
+		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return strings.Join(parts, ","), nil
+}

@@ -1,0 +1,51 @@
+package oscore
+
+import "testing"
+
+// FuzzParseAffinity drives the affinity grammar with arbitrary strings
+// and core counts, checking the parser never panics, every accepted map
+// stays in range, and canonicalization is a fixed point (parse →
+// render → parse round-trips to the identical map and string).
+func FuzzParseAffinity(f *testing.F) {
+	f.Add("", 1)
+	f.Add("", 4)
+	f.Add("file=0,network=1", 2)
+	f.Add("*=0,trap=1", 2)
+	f.Add(" file = 1 , network = 0 ", 2)
+	f.Add("trap=0,identity=1,file=2,network=3,memory=0,process=1,ipc=2,time=3", 4)
+	f.Add("disk=0", 2)
+	f.Add("file=0,file=1", 2)
+	f.Add("file=-1", 2)
+	f.Add("file=99", 2)
+	f.Add("=,=,=", 3)
+	f.Add("*=*", 1)
+	f.Fuzz(func(t *testing.T, s string, k int) {
+		if k < 1 || k > 64 {
+			k = 1 + (k&0x3f+64)%64 // keep k in [1,64] without rejecting inputs
+		}
+		a, err := ParseAffinity(s, k)
+		if err != nil {
+			return
+		}
+		for cat, q := range a {
+			if q < 0 || q >= k {
+				t.Fatalf("ParseAffinity(%q, %d): category %d routed to %d, outside [0,%d)", s, k, cat, q, k)
+			}
+		}
+		canon, err := CanonicalAffinity(s, k)
+		if err != nil {
+			t.Fatalf("parsed OK but CanonicalAffinity(%q, %d) failed: %v", s, k, err)
+		}
+		a2, err := ParseAffinity(canon, k)
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v", canon, err)
+		}
+		if a2 != a {
+			t.Fatalf("canonical round-trip changed map: %v -> %q -> %v", a, canon, a2)
+		}
+		canon2, err := CanonicalAffinity(canon, k)
+		if err != nil || canon2 != canon {
+			t.Fatalf("canonicalization not a fixed point: %q -> %q (err %v)", canon, canon2, err)
+		}
+	})
+}

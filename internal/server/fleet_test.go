@@ -593,6 +593,15 @@ func TestFleetMetricsAudit(t *testing.T) {
 				t.Fatalf("replica %d: malformed series %q", i, line)
 			}
 			labels := line[open+1 : end]
+			if strings.HasPrefix(line, "offsimd_oscore_queue_depth{") {
+				// The one labeled gauge: its class label is drawn from the
+				// fixed syscall-category set (cardinality-guarded at the
+				// observe site), never composed with other labels.
+				if !strings.HasPrefix(labels, `class="`) || strings.Contains(labels, ",") {
+					t.Fatalf("replica %d: unexpected label set %q in %q (only a single class= label allowed)", i, labels, line)
+				}
+				continue
+			}
 			if !strings.HasPrefix(labels, `le="`) || strings.Contains(labels, ",") {
 				t.Fatalf("replica %d: unexpected label set %q in %q (only le= buckets allowed)", i, labels, line)
 			}

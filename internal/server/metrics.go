@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"offloadsim/internal/oscore"
 )
 
 // Metrics is the daemon's instrumentation, hand-rolled in the Prometheus
@@ -42,6 +44,14 @@ type Metrics struct {
 	latency   histogram
 	queueWait histogram
 	simSpeed  histogram
+
+	// oscoreDepth holds the per-syscall-class mean cluster queue depth
+	// of the most recent multi-OS-core job (docs/OSCORES.md). The class
+	// label is bounded by construction: ObserveOSCoreDepth drops any
+	// name outside the fixed syscall-category set, so the series count
+	// can never exceed oscore.CategoryNames().
+	oscoreDepthMu sync.Mutex
+	oscoreDepth   map[string]float64
 }
 
 // NewMetrics builds the registry with the default bucket layouts.
@@ -67,6 +77,31 @@ func NewMetrics() *Metrics {
 
 // ObserveJobLatency records one job's submit-to-finish wall time.
 func (m *Metrics) ObserveJobLatency(seconds float64) { m.latency.observe(seconds) }
+
+// ObserveOSCoreDepth records one syscall class's mean cluster queue
+// depth from a finished multi-OS-core job. Unknown class names are
+// dropped silently — the label-cardinality guard that keeps
+// offsimd_oscore_queue_depth bounded at the fixed category set.
+func (m *Metrics) ObserveOSCoreDepth(class string, depth float64) {
+	if !oscoreClassNames[class] {
+		return
+	}
+	m.oscoreDepthMu.Lock()
+	defer m.oscoreDepthMu.Unlock()
+	if m.oscoreDepth == nil {
+		m.oscoreDepth = make(map[string]float64, len(oscoreClassNames))
+	}
+	m.oscoreDepth[class] = depth
+}
+
+// oscoreClassNames is the closed set of legal class label values.
+var oscoreClassNames = func() map[string]bool {
+	set := make(map[string]bool)
+	for _, name := range oscore.CategoryNames() {
+		set[name] = true
+	}
+	return set
+}()
 
 // ObserveQueueWait records one job's submit-to-worker-pickup wall time.
 func (m *Metrics) ObserveQueueWait(seconds float64) { m.queueWait.observe(seconds) }
@@ -111,10 +146,30 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	gauge("offsimd_reserved_worker_slots", "Extra worker-pool slots held by running parallel jobs.", m.ReservedSlots.Load())
 	gauge("offsimd_reserved_slots", "DEPRECATED: alias of offsimd_reserved_worker_slots.", m.ReservedSlots.Load())
 	gauge("offsimd_ring_owned_keys", "Cached results whose key this replica owns per the hash ring.", m.RingOwnedKeys.Load())
+	m.writeOSCoreDepth(cw)
 	m.latency.writeTo(cw, "offsimd_job_latency_seconds", "Submit-to-finish job latency.")
 	m.queueWait.writeTo(cw, "offsimd_queue_wait_seconds", "Submit-to-worker-pickup queue wait.")
 	m.simSpeed.writeTo(cw, "offsimd_sim_instrs_per_second", "Simulated instructions per wall second, successful jobs only.")
 	return cw.n, cw.err
+}
+
+// writeOSCoreDepth renders the per-class cluster queue-depth gauge.
+// Classes appear in fixed category order, so consecutive scrapes list
+// series identically; the metric is absent until a multi-OS-core job
+// completes, keeping single-OS-core deployments' scrapes unchanged.
+func (m *Metrics) writeOSCoreDepth(w io.Writer) {
+	m.oscoreDepthMu.Lock()
+	defer m.oscoreDepthMu.Unlock()
+	if len(m.oscoreDepth) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP offsimd_oscore_queue_depth Mean per-class OS-cluster queue depth of the most recent multi-OS-core job.\n"+
+		"# TYPE offsimd_oscore_queue_depth gauge\n")
+	for _, class := range oscore.CategoryNames() {
+		if depth, ok := m.oscoreDepth[class]; ok {
+			fmt.Fprintf(w, "offsimd_oscore_queue_depth{class=%q} %g\n", class, depth)
+		}
+	}
 }
 
 // histogram is a fixed-bucket cumulative histogram.

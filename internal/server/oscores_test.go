@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"offloadsim/internal/sim"
+)
+
+// TestOSCoreJobEndToEnd submits a multi-OS-core async job over HTTP,
+// checks the result document carries the cluster provenance block, and
+// verifies the per-class queue-depth gauge appears on /metrics with the
+// bounded class label.
+func TestOSCoreJobEndToEnd(t *testing.T) {
+	srv := New(Options{QueueSize: 8, Workers: 2})
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	spec := smallSpec(1)
+	spec.Cores = 2
+	spec.OSCores = 2
+	spec.Affinity = "file=0,network=1,*=0"
+	spec.Asymmetry = "1,0.5"
+	spec.Async = true
+	body, _ := json.Marshal(spec)
+	code, st, apiErr := postJob(t, ts, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("POST: HTTP %d (%s)", code, apiErr.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	fin, err := srv.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("waiting: %v", err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job state %s (err %q)", fin.State, fin.Error)
+	}
+	rcode, raw := getResult(t, ts, st.ID)
+	if rcode != http.StatusOK {
+		t.Fatalf("result: HTTP %d: %s", rcode, raw)
+	}
+	var res sim.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	if res.OSCores == nil {
+		t.Fatal("result missing OSCores provenance block")
+	}
+	if res.OSCores.K != 2 || !res.OSCores.Async {
+		t.Errorf("provenance K=%d async=%v, want K=2 async", res.OSCores.K, res.OSCores.Async)
+	}
+	if len(res.OSCores.PerClass) == 0 {
+		t.Fatal("provenance has no per-class stats")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	rawMetrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(rawMetrics)
+	if !strings.Contains(text, `offsimd_oscore_queue_depth{class="file"}`) {
+		t.Errorf("metrics missing per-class queue-depth gauge:\n%s", text)
+	}
+	classes := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "offsimd_oscore_queue_depth{") {
+			classes++
+		}
+	}
+	if classes == 0 || classes > 8 {
+		t.Errorf("oscore gauge series count %d outside (0, 8]", classes)
+	}
+}
+
+// TestOSCoreSpecValidation: bad cluster specs bounce with 400 before any
+// simulation is queued; distinct cluster shapes must not share a cache
+// key.
+func TestOSCoreSpecValidation(t *testing.T) {
+	bad := []func(*JobSpec){
+		func(s *JobSpec) { s.OSCores = -1 },
+		func(s *JobSpec) { s.OSCores = 2; s.Affinity = "file=7" },
+		func(s *JobSpec) { s.OSCores = 2; s.Affinity = "disk=0" },
+		func(s *JobSpec) { s.OSCores = 2; s.Asymmetry = "1,0.5,0.5" },
+		func(s *JobSpec) { s.OSCores = 2; s.Asymmetry = "1,1e9" },
+	}
+	for i, mut := range bad {
+		spec := smallSpec(1)
+		mut(&spec)
+		if _, err := spec.Config(); err == nil {
+			t.Errorf("bad spec %d: Config() accepted %+v", i, spec)
+		}
+	}
+
+	base := smallSpec(1)
+	baseCfg, err := base.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := smallSpec(1)
+	cluster.OSCores = 2
+	clusterCfg, err := cluster.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseKey, err := sim.CanonicalKey(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterKey, err := sim.CanonicalKey(clusterCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseKey == clusterKey {
+		t.Error("K=2 cluster spec shares a cache key with the single-OS-core spec")
+	}
+
+	// os_cores=1 spelled out is the classic model: same key as omitting it.
+	one := smallSpec(1)
+	one.OSCores = 1
+	oneCfg, err := one.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneKey, err := sim.CanonicalKey(oneCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseKey != oneKey {
+		t.Error("explicit os_cores=1 changed the cache key")
+	}
+}
+
+// TestOSCoreDepthGaugeGuard: the observe-site cardinality guard drops
+// class names outside the fixed category set.
+func TestOSCoreDepthGaugeGuard(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveOSCoreDepth("file", 1.5)
+	m.ObserveOSCoreDepth("bogus", 9)
+	m.ObserveOSCoreDepth(`evil"} hack{`, 9)
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `offsimd_oscore_queue_depth{class="file"} 1.5`) {
+		t.Errorf("gauge missing accepted class:\n%s", out)
+	}
+	if strings.Contains(out, "bogus") || strings.Contains(out, "evil") {
+		t.Errorf("gauge leaked unknown class labels:\n%s", out)
+	}
+}

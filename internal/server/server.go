@@ -479,6 +479,11 @@ func (s *Server) execute(j *job) {
 			if wall := s.now().Sub(simStart).Seconds(); wall > 0 {
 				s.metrics.ObserveSimSpeed(float64(out.res.Instrs) / wall)
 			}
+			if out.res.OSCores != nil {
+				for _, cs := range out.res.OSCores.PerClass {
+					s.metrics.ObserveOSCoreDepth(cs.Class, cs.MeanQueueDepth)
+				}
+			}
 		}
 	case <-ctx.Done():
 		// The simulation goroutine cannot be interrupted mid-run; it is

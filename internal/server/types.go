@@ -40,6 +40,17 @@ type JobSpec struct {
 	Cores int `json:"cores,omitempty"`
 	// OSSlots is the OS core's hardware context count (default 1).
 	OSSlots int `json:"os_slots,omitempty"`
+	// OSCores sizes the multi-OS-core off-load cluster (default 1 =
+	// classic single OS core; docs/OSCORES.md).
+	OSCores int `json:"os_cores,omitempty"`
+	// Affinity maps syscall classes to cluster cores, e.g.
+	// "file=0,network=1,*=0" (requires os_cores > 1).
+	Affinity string `json:"affinity,omitempty"`
+	// Asymmetry sets per-OS-core speed factors, e.g. "1,0.5".
+	Asymmetry string `json:"asymmetry,omitempty"`
+	// Async enables fire-and-forget off-load for side-effect-only
+	// syscall classes.
+	Async bool `json:"async,omitempty"`
 	// DynamicN enables the epoch threshold tuner.
 	DynamicN bool `json:"dynamic_n,omitempty"`
 	// DMPredictor selects the 1500-entry direct-mapped predictor.
@@ -127,6 +138,19 @@ func (j JobSpec) Config() (sim.Config, error) {
 	}
 	if j.OSSlots > 0 {
 		cfg.OSCoreSlots = j.OSSlots
+	}
+	if j.OSCores < 0 {
+		return sim.Config{}, fmt.Errorf("negative os_cores %d", j.OSCores)
+	}
+	if j.OSCores > 1 || j.Affinity != "" || j.Asymmetry != "" || j.Async {
+		k := j.OSCores
+		if k == 0 {
+			k = 1
+		}
+		cfg.OSCores = sim.OSCores{
+			Enabled: true, K: k,
+			Affinity: j.Affinity, Asymmetry: j.Asymmetry, Async: j.Async,
+		}
 	}
 	cfg.InstrumentOnly = j.InstrumentOnly
 	cfg.DirectMappedPredictor = j.DMPredictor

@@ -43,10 +43,8 @@ func Canonicalize(c Config) (Config, error) {
 	if c.Coherence.NumNodes == 0 {
 		c.Coherence = coherence.DefaultConfig()
 	}
-	nodes := c.UserCores
-	if c.offloadCapable() {
-		nodes++
-	}
+	c.OSCores = c.OSCores.withDefaults()
+	nodes := c.UserCores + c.clusterK()
 	c.Coherence.NumNodes = nodes
 
 	// Collapse a uniform per-core workload list; expand nothing. After
@@ -99,6 +97,7 @@ func Canonicalize(c Config) (Config, error) {
 		c.Migration = migration.Custom(0)
 		c.OSCoreSlots = 1
 		c.OSCPU = nil
+		c.OSCores = OSCores{}
 	}
 	return c, nil
 }
@@ -142,6 +141,7 @@ type canonicalForm struct {
 	OSCPU          *cpu.Config
 	Sampling       Sampling
 	Parallel       Parallel
+	OSCores        OSCores
 }
 
 // CanonicalKey returns a stable hex digest identifying the simulation c
@@ -177,6 +177,7 @@ func CanonicalKey(c Config) (string, error) {
 		OSCPU:          cc.OSCPU,
 		Sampling:       cc.Sampling,
 		Parallel:       cc.Parallel,
+		OSCores:        cc.OSCores,
 	}
 	raw, err := json.Marshal(form)
 	if err != nil {

@@ -95,6 +95,15 @@ func (s *Simulator) probe() intervalProbe {
 		p.queueN = s.osQueue.QueueDelay.N()
 		p.queueSum = s.osQueue.QueueDelay.Sum()
 	}
+	if s.osc != nil {
+		for q := 0; q < s.osc.K(); q++ {
+			ol2 := s.sys.L2(s.osNode + q)
+			p.osL2Hits += ol2.Stats.Hits.Value()
+			p.osL2Acc += ol2.Stats.Accesses.Value()
+		}
+		p.osBusy = s.osc.BusyCycles()
+		p.queueSum, p.queueN, _ = s.osc.QueueDelay()
+	}
 	cs := &s.sys.Stats
 	p.c2c = cs.C2CTransfers.Value()
 	p.inval = cs.Invalidations.Value()
@@ -158,12 +167,15 @@ func (s *Simulator) setWarmingStride(on bool, stride int) {
 	for _, u := range s.users {
 		u.core.SetWarming(on, stride)
 	}
+	osStride := s.cfg.Sampling.OSWarmStride
+	if osStride > stride {
+		osStride = stride
+	}
 	if s.osCore != nil {
-		osStride := s.cfg.Sampling.OSWarmStride
-		if osStride > stride {
-			osStride = stride
-		}
 		s.osCore.SetWarming(on, osStride)
+	}
+	for _, oc := range s.osCores {
+		oc.SetWarming(on, osStride)
 	}
 }
 
@@ -389,9 +401,8 @@ func (s *Simulator) collectSampled(samples []IntervalSample, covs []intervalCov)
 	r.Invalidations = scaleUp(agg.Invalidations)
 	r.MemoryFills = scaleUp(agg.MemoryFills)
 	r.MemoryWritebacks = scaleUp(agg.MemoryWritebacks)
-	if s.osQueue != nil {
-		slots := uint64(s.osQueue.Slots())
-		if agg.Cycles > 0 && slots > 0 {
+	if slots := uint64(s.osSlotsTotal()); slots > 0 {
+		if agg.Cycles > 0 {
 			r.OSCoreUtilization = float64(agg.OSBusyCycles) / (float64(agg.Cycles) * float64(slots))
 		}
 		if agg.QueueDelayCount > 0 {

@@ -7,6 +7,7 @@ import (
 	"offloadsim/internal/core"
 	"offloadsim/internal/policy"
 	"offloadsim/internal/stats"
+	"offloadsim/internal/syscalls"
 )
 
 // Result is the measured outcome of one simulation run.
@@ -87,6 +88,62 @@ type Result struct {
 	// Parallel records that detailed execution ran on the
 	// quantum-synchronized parallel engine; nil for serial runs.
 	Parallel *ParallelProvenance `json:",omitempty"`
+
+	// OSCores records the per-core and per-class behaviour of a
+	// multi-OS-core run (Config.OSCores); nil for classic
+	// single-OS-core and baseline runs.
+	OSCores *OSCoresProvenance `json:",omitempty"`
+}
+
+// OSCoresProvenance is the Result block of a multi-OS-core run
+// (internal/oscore, docs/OSCORES.md).
+type OSCoresProvenance struct {
+	// K is the OS-core count; Async whether fire-and-forget dispatch
+	// was enabled.
+	K     int
+	Async bool
+	// PerCore lists each OS core's service metrics, index-aligned with
+	// the cluster.
+	PerCore []OSCoreStat
+	// PerClass lists every syscall class in catalog order with its
+	// designated core and routing statistics (the source of the offsimd
+	// per-class queue-depth gauge).
+	PerClass []OSClassStat
+	// Async accounting: dispatches issued, returns reconciled, cycles
+	// issuing cores stalled on reconciliation, and descriptors still
+	// outstanding at the end of measurement.
+	AsyncDispatched  uint64
+	AsyncReconciled  uint64
+	AsyncStallCycles uint64
+	AsyncOutstanding uint64
+	// Rebalances counts requests diverted from their designated queue.
+	Rebalances uint64
+}
+
+// OSCoreStat is one OS core's service metrics.
+type OSCoreStat struct {
+	// Speed is the core's configured speed factor.
+	Speed float64
+	// Requests and BusyCycles count work booked on this core's queue.
+	Requests   uint64
+	BusyCycles uint64
+	// Utilization is busy cycles over the core's context capacity
+	// across the measurement window.
+	Utilization float64
+	// MeanQueueDelay is the average reservation wait on this core.
+	MeanQueueDelay float64
+}
+
+// OSClassStat is one syscall class's routing statistics.
+type OSClassStat struct {
+	// Class is the syscall category name; Core its designated OS core.
+	Class string
+	Core  int
+	// Requests counts invocations of this class routed to the cluster;
+	// MeanQueueDepth the average busy-context count they observed at
+	// arrival.
+	Requests       uint64
+	MeanQueueDepth float64
 }
 
 // ParallelProvenance marks a Result as produced by the parallel
@@ -207,6 +264,24 @@ func (s *Simulator) collect() Result {
 		r.MeanQueueDelay = s.osQueue.QueueDelay.Mean()
 		r.MaxQueueDelay = s.osQueue.QueueDelay.Max()
 	}
+	if s.osc != nil {
+		r.HasOSCore = true
+		var osHits, osAcc uint64
+		for q := 0; q < s.osc.K(); q++ {
+			ol2 := s.sys.L2(s.osNode + q)
+			osHits += ol2.Stats.Hits.Value()
+			osAcc += ol2.Stats.Accesses.Value()
+		}
+		r.OSL2HitRate = stats.Ratio(osHits, osAcc)
+		r.OSCoreUtilization = s.osc.Utilization(maxElapsed)
+		r.OSBusyCycles = s.osc.BusyCycles()
+		delaySum, delayN, delayMax := s.osc.QueueDelay()
+		if delayN > 0 {
+			r.MeanQueueDelay = delaySum / float64(delayN)
+		}
+		r.MaxQueueDelay = delayMax
+		r.OSCores = s.oscoresProvenance(maxElapsed)
+	}
 	cs := &s.sys.Stats
 	r.C2CTransfers = cs.C2CTransfers.Value()
 	r.Invalidations = cs.Invalidations.Value()
@@ -219,6 +294,44 @@ func (s *Simulator) collect() Result {
 		}
 	}
 	return r
+}
+
+// oscoresProvenance shapes the cluster runtime's counters into the
+// Result block.
+func (s *Simulator) oscoresProvenance(horizon uint64) *OSCoresProvenance {
+	p := &OSCoresProvenance{
+		K:          s.osc.K(),
+		Async:      s.cfg.OSCores.Async,
+		Rebalances: s.osc.Rebalances(),
+	}
+	p.AsyncDispatched, p.AsyncReconciled, p.AsyncStallCycles = s.osc.AsyncStats()
+	p.AsyncOutstanding = s.osc.OutstandingAsync()
+	for q := 0; q < s.osc.K(); q++ {
+		queue := s.osc.Queue(q)
+		st := OSCoreStat{
+			Speed:      s.osc.Speed(q),
+			Requests:   queue.Requests.Value(),
+			BusyCycles: queue.BusyCycles.Value(),
+		}
+		if horizon > 0 {
+			st.Utilization = float64(st.BusyCycles) / (float64(horizon) * float64(queue.Slots()))
+			if st.Utilization > 1 {
+				st.Utilization = 1
+			}
+		}
+		st.MeanQueueDelay = queue.QueueDelay.Mean()
+		p.PerCore = append(p.PerCore, st)
+	}
+	for cat := 0; cat < syscalls.NumCategories; cat++ {
+		req, depth := s.osc.ClassStats(syscalls.Category(cat))
+		p.PerClass = append(p.PerClass, OSClassStat{
+			Class:          syscalls.Category(cat).String(),
+			Core:           s.osc.Designated(syscalls.Category(cat)),
+			Requests:       req,
+			MeanQueueDepth: depth,
+		})
+	}
+	return p
 }
 
 // String renders a one-line summary.

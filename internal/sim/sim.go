@@ -19,6 +19,7 @@ import (
 	"offloadsim/internal/core"
 	"offloadsim/internal/cpu"
 	"offloadsim/internal/migration"
+	"offloadsim/internal/oscore"
 	"offloadsim/internal/policy"
 	"offloadsim/internal/rng"
 	"offloadsim/internal/syscalls"
@@ -98,6 +99,14 @@ type Config struct {
 	// zero-valued knobs of an enabled block take the documented
 	// defaults.
 	Parallel Parallel
+
+	// OSCores, when enabled, generalizes the single OS core into a
+	// cluster of K OS cores with per-syscall-class affinity routing,
+	// asymmetric core speeds and optional asynchronous dispatch (see
+	// internal/oscore and docs/OSCORES.md). Disabled by default; an
+	// enabled K=1 synchronous block is the legacy model and
+	// canonicalizes back to disabled.
+	OSCores OSCores
 
 	// Seed drives all stochastic behaviour.
 	Seed uint64
@@ -230,6 +239,18 @@ func (c *Config) Validate() error {
 	if c.Parallel.Enabled && c.DynamicN {
 		return fmt.Errorf("sim: Parallel cannot be combined with DynamicN")
 	}
+	if err := c.OSCores.Validate(); err != nil {
+		return err
+	}
+	// The parallel engine's quantum barriers reconcile one OS core's
+	// reservations; multi-queue routing and async return slots would need
+	// their own cross-quantum reconciliation discipline. Reject the
+	// combination rather than silently approximate it. (A block that
+	// collapses to the legacy model — K=1, synchronous, symmetric — is
+	// fine: it runs the untouched single-OS-core path.)
+	if c.OSCores.withDefaults().Enabled && c.Parallel.Enabled {
+		return fmt.Errorf("sim: Parallel cannot be combined with OSCores")
+	}
 	return nil
 }
 
@@ -282,6 +303,14 @@ type Simulator struct {
 	osQueue *migration.OSCore
 	osNode  int
 
+	// Multi-OS-core cluster state (Config.OSCores): the K OS cores at
+	// nodes osNode..osNode+K-1 and their routing/queueing runtime.
+	// Exactly one of (osCore, osQueue) and (osCores, osc) is non-nil in
+	// an off-load-capable simulator; legacy configs never build the
+	// cluster, so their code path is untouched.
+	osCores []*cpu.Core
+	osc     *oscore.Cluster
+
 	// par is the parallel engine's runtime state (ports, event buffers,
 	// worker count), built lazily on the first parallel quantum.
 	par *parRuntime
@@ -304,10 +333,8 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	cfg.Sampling = cfg.Sampling.withDefaults()
 	cfg.Parallel = cfg.Parallel.withDefaults()
-	nodes := cfg.UserCores
-	if cfg.offloadCapable() {
-		nodes++
-	}
+	cfg.OSCores = cfg.OSCores.withDefaults()
+	nodes := cfg.UserCores + cfg.clusterK()
 	cfg.Coherence.NumNodes = nodes
 
 	root := rng.New(cfg.Seed)
@@ -370,12 +397,36 @@ func New(cfg Config) (*Simulator, error) {
 		if cfg.OSCPU != nil {
 			osCPU = *cfg.OSCPU
 		}
-		oc, err := cpu.New(s.osNode, s.osNode, osCPU, sys)
-		if err != nil {
-			return nil, err
+		if cfg.OSCores.Enabled {
+			// Cluster mode: K OS cores at consecutive nodes, each with
+			// its own private hierarchy, sharing one routing fabric.
+			// Both strings passed Validate, so they must parse.
+			k := cfg.OSCores.K
+			aff, err := oscore.ParseAffinity(cfg.OSCores.Affinity, k)
+			if err != nil {
+				return nil, err
+			}
+			speeds, err := oscore.ParseAsymmetry(cfg.OSCores.Asymmetry, k)
+			if err != nil {
+				return nil, err
+			}
+			for q := 0; q < k; q++ {
+				oc, err := cpu.New(s.osNode+q, s.osNode+q, osCPU, sys)
+				if err != nil {
+					return nil, err
+				}
+				s.osCores = append(s.osCores, oc)
+			}
+			s.osc = oscore.NewCluster(k, cfg.OSCoreSlots, aff, speeds,
+				cfg.OSCores.Rebalance, cfg.OSCores.AsyncSlots, cfg.UserCores)
+		} else {
+			oc, err := cpu.New(s.osNode, s.osNode, osCPU, sys)
+			if err != nil {
+				return nil, err
+			}
+			s.osCore = oc
+			s.osQueue = migration.NewOSCore(cfg.OSCoreSlots)
 		}
-		s.osCore = oc
-		s.osQueue = migration.NewOSCore(cfg.OSCoreSlots)
 	}
 	return s, nil
 }
@@ -471,7 +522,23 @@ func (s *Simulator) step(u *userCtx) {
 	}
 
 	entry := u.clock
+	// Queue-depth-aware dynamic N (Config.OSCores.DepthN): raise the
+	// effective threshold by DepthN per busy context on the designated
+	// queue, so a backlogged OS core only receives work long enough to
+	// amortize the extra wait. The base threshold is restored right after
+	// the decision — the modulation is per-invocation, and composes with
+	// the epoch tuner (which retunes the base).
+	depthBase, depthMod := 0, false
+	if s.osc != nil && s.cfg.OSCores.DepthN > 0 && supportsThreshold(s.cfg.Policy) {
+		depthBase = u.pol.Threshold()
+		des := s.osc.Designated(syscalls.CategoryOf(seg.Sys))
+		u.pol.SetThreshold(depthBase + s.cfg.OSCores.DepthN*s.osc.Backlog(des, u.clock))
+		depthMod = true
+	}
 	d := u.pol.Decide(seg)
+	if depthMod {
+		u.pol.SetThreshold(depthBase)
+	}
 	if u.trc != nil {
 		u.emitDecide(entry, seg, d)
 	}
@@ -480,7 +547,9 @@ func (s *Simulator) step(u *userCtx) {
 		u.clock += uint64(d.Overhead)
 	}
 
-	if d.Offload && !s.cfg.InstrumentOnly && s.osCore != nil {
+	if d.Offload && !s.cfg.InstrumentOnly && s.osc != nil {
+		s.clusterOffload(u, seg)
+	} else if d.Offload && !s.cfg.InstrumentOnly && s.osCore != nil {
 		oneWay := uint64(s.cfg.Migration.OneWay)
 		dispatch := u.clock
 		arrival := dispatch + oneWay
@@ -503,6 +572,12 @@ func (s *Simulator) step(u *userCtx) {
 				execCycles, total, backlog, s.osMisses()-missBase)
 		}
 	} else {
+		// A locally executed OS segment is still an OS boundary: any
+		// outstanding fire-and-forget returns reconcile before the core
+		// re-enters privileged mode.
+		if s.osc != nil {
+			s.drainAsync(u)
+		}
 		cycles := u.core.RunSegment(seg)
 		u.clock += cycles
 		if u.trc != nil {
@@ -631,6 +706,12 @@ func (s *Simulator) resetAfterWarmup() {
 	if s.osCore != nil {
 		s.osCore.ResetStats()
 		s.osQueue.ResetStats()
+	}
+	if s.osc != nil {
+		for _, oc := range s.osCores {
+			oc.ResetStats()
+		}
+		s.osc.ResetStats()
 	}
 	// Telemetry captures describe exactly the measurement window.
 	s.trc.Arm()

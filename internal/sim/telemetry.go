@@ -55,14 +55,18 @@ func (s *Simulator) telemetryMeta() telemetry.Meta {
 			break
 		}
 	}
-	return telemetry.Meta{
+	meta := telemetry.Meta{
 		Workload:  name,
 		Policy:    s.cfg.Policy.String(),
 		Threshold: s.cfg.Threshold,
 		UserCores: s.cfg.UserCores,
-		OSCore:    s.osCore != nil,
+		OSCore:    s.osCore != nil || s.osc != nil,
 		Seed:      s.cfg.Seed,
 	}
+	if s.osc != nil {
+		meta.OSCores = s.osc.K()
+	}
+	return meta
 }
 
 // emitDecide records the OS entry and the policy verdict for it. entry
@@ -184,9 +188,9 @@ func (s *Simulator) intervalPoint(smp IntervalSample, endInstrs uint64) telemetr
 		Offloads:       smp.Offloads,
 		LiveN:          s.users[0].pol.Threshold(),
 	}
-	if s.osQueue != nil && smp.Cycles > 0 {
+	if slots := s.osSlotsTotal(); slots > 0 && smp.Cycles > 0 {
 		p.OSCoreUtilization = float64(smp.OSBusyCycles) /
-			(float64(smp.Cycles) * float64(s.osQueue.Slots()))
+			(float64(smp.Cycles) * float64(slots))
 		p.QueueDepth = smp.QueueDelaySum / float64(smp.Cycles)
 	}
 	if smp.QueueDelayCount > 0 {

@@ -1,0 +1,38 @@
+package syscalls
+
+// sideEffectOnly tags the entry points whose invocations exist for their
+// kernel-side effect rather than for data returned to the caller: writes
+// and sends (the application typically streams on without inspecting the
+// byte count), durability and teardown requests, signals, timer arms and
+// paging hints. These are the classes eligible for asynchronous
+// fire-and-forget off-loading (internal/oscore, docs/OSCORES.md): the
+// user core may continue executing before the OS core has finished, with
+// the return reconciled at its next OS boundary. Read-like calls,
+// readiness waits and anything whose result feeds the very next user
+// instruction are excluded — the caller cannot make progress without the
+// answer, so overlapping them would change program semantics, not just
+// timing.
+var sideEffectOnly = [NumIDs]bool{
+	Write:     true,
+	Pwrite:    true,
+	Writev:    true,
+	Fsync:     true,
+	Unlink:    true,
+	Send:      true,
+	Sendto:    true,
+	Shutdown:  true,
+	Madvise:   true,
+	Kill:      true,
+	Msgsnd:    true,
+	Setitimer: true,
+}
+
+// SideEffectOnly reports whether id is a side-effect-only entry point —
+// one whose off-loaded execution may overlap the requester (async
+// fire-and-forget dispatch). IDs outside the catalog are never eligible.
+func SideEffectOnly(id ID) bool {
+	if id < 0 || int(id) >= NumIDs {
+		return false
+	}
+	return sideEffectOnly[id]
+}

@@ -1,0 +1,39 @@
+package syscalls
+
+import "testing"
+
+// TestSideEffectOnlyMembership pins the async-eligible set: every tagged
+// ID must be a real catalog entry, and the calls whose results gate the
+// caller's next instruction must never be tagged.
+func TestSideEffectOnlyMembership(t *testing.T) {
+	want := []ID{Write, Pwrite, Writev, Fsync, Unlink, Send, Sendto,
+		Shutdown, Madvise, Kill, Msgsnd, Setitimer}
+	count := 0
+	for id := ID(0); id < ID(NumIDs); id++ {
+		if SideEffectOnly(id) {
+			count++
+		}
+	}
+	if count != len(want) {
+		t.Fatalf("tagged %d IDs, want %d", count, len(want))
+	}
+	for _, id := range want {
+		if !SideEffectOnly(id) {
+			t.Errorf("%s: want side-effect-only", id)
+		}
+	}
+	// Result-bearing calls must stay synchronous.
+	for _, id := range []ID{Read, Recv, Recvfrom, Accept, Poll, Select,
+		Epoll_wait, Open, Mmap, Fork, Wait4, Futex, SpillTrap, TLBMiss} {
+		if SideEffectOnly(id) {
+			t.Errorf("%s: must not be side-effect-only (caller consumes its result)", id)
+		}
+	}
+}
+
+// TestSideEffectOnlyBounds checks out-of-range IDs are never eligible.
+func TestSideEffectOnlyBounds(t *testing.T) {
+	if SideEffectOnly(-1) || SideEffectOnly(ID(NumIDs)) || SideEffectOnly(ID(NumIDs+100)) {
+		t.Fatal("out-of-range ID reported side-effect-only")
+	}
+}

@@ -23,6 +23,9 @@ import (
 //	offload_execute -> "X" slice on the OS-core row (tid = UserCores)
 //	cache_warm      -> "i" instant on the OS-core row (miss count in args)
 //	retune          -> "C" counter sample on "threshold-N core<i>" + "i" instant
+//	oscore_enqueue  -> "X" "queue wait" slice on the issuing core
+//	oscore_execute  -> "X" slice on the serving OS-core row (tid = UserCores + core)
+//	async_return    -> "X" "async reconcile" slice when the issuing core stalled
 //
 // os_entry, predict and outcome records stay JSONL-only: the slices
 // above already render every OS entry, and per-decision predictor detail
@@ -56,7 +59,13 @@ func (s *ChromeSink) Begin(meta Meta, dropped uint64) error {
 		s.meta("thread_name", i, -1, "core "+strconv.Itoa(i))
 		s.meta("thread_sort_index", i, i, "")
 	}
-	if meta.OSCore {
+	switch {
+	case meta.OSCores > 1:
+		for q := 0; q < meta.OSCores; q++ {
+			s.meta("thread_name", meta.UserCores+q, -1, "OS core "+strconv.Itoa(q))
+			s.meta("thread_sort_index", meta.UserCores+q, meta.UserCores+q, "")
+		}
+	case meta.OSCore:
 		s.meta("thread_name", meta.UserCores, -1, "OS core")
 		s.meta("thread_sort_index", meta.UserCores, meta.UserCores, "")
 	}
@@ -77,6 +86,16 @@ func (s *ChromeSink) Event(ev Event) error {
 		}
 	case KindOffloadExecute:
 		s.slice(s.cores, ev.Time, ev.Cycles, sysName(ev.Sys), "os-core", int64(ev.Core))
+	case KindOSCoreEnqueue:
+		if ev.Cycles > 0 {
+			s.slice(int(ev.Core), ev.Time, ev.Cycles, "queue wait", "offload", ev.Value)
+		}
+	case KindOSCoreExecute:
+		s.slice(s.cores+int(ev.Value), ev.Time, ev.Cycles, sysName(ev.Sys), "os-core", int64(ev.Core))
+	case KindAsyncReturn:
+		if ev.Cycles > 0 {
+			s.slice(int(ev.Core), ev.Time-ev.Cycles, ev.Cycles, "async reconcile", "offload", ev.Value)
+		}
 	case KindCacheWarm:
 		s.open(`"i"`, s.cores, ev.Time)
 		s.raw(`,"name":"cache warm","cat":"os-core","s":"t","args":{"misses":`)

@@ -50,6 +50,22 @@ const (
 	// KindRetune marks a dynamic-N epoch boundary installing a new
 	// threshold on a core: Value is the threshold now live.
 	KindRetune
+	// KindOSCoreEnqueue records a multi-OS-core off-load entering its
+	// routed queue (internal/oscore). Time is the arrival cycle, Cycles
+	// the queue wait endured, Value the busy-context count the request
+	// observed at arrival.
+	KindOSCoreEnqueue
+	// KindOSCoreExecute marks the invocation executing on one core of
+	// the OS cluster. Time is the execution start cycle, Cycles the
+	// speed-scaled execution cost, Value the serving OS core's index.
+	KindOSCoreExecute
+	// KindAsyncReturn marks a fire-and-forget off-load's return
+	// descriptor being reconciled on the issuing core. Time is the
+	// user-core clock after reconciliation, Cycles the stall it cost
+	// (0 when the return had already landed), Value the serving OS
+	// core's index. Sys is -1: the descriptor does not carry the
+	// original invocation.
+	KindAsyncReturn
 
 	numKinds
 )
@@ -67,6 +83,9 @@ var kindNames = [numKinds]string{
 	KindOffloadReturn:   "offload_return",
 	KindOutcome:         "outcome",
 	KindRetune:          "retune",
+	KindOSCoreEnqueue:   "oscore_enqueue",
+	KindOSCoreExecute:   "oscore_execute",
+	KindAsyncReturn:     "async_return",
 }
 
 // String implements fmt.Stringer.

@@ -88,7 +88,7 @@ func (s *JSONLSink) Event(ev Event) error {
 		b = appendCycles(b, ev)
 	case KindOSExit, KindOffloadDispatch, KindOffloadExecute, KindOffloadReturn:
 		b = appendCycles(b, ev)
-	case KindOffloadQueue:
+	case KindOffloadQueue, KindOSCoreEnqueue, KindOSCoreExecute, KindAsyncReturn:
 		b = appendCycles(b, ev)
 		b = appendValue(b, ev)
 	case KindCacheWarm:

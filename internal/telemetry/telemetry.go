@@ -68,7 +68,12 @@ type Meta struct {
 	Threshold int    `json:"threshold"`
 	UserCores int    `json:"user_cores"`
 	OSCore    bool   `json:"os_core"`
-	Seed      uint64 `json:"seed"`
+	// OSCores is the OS-cluster core count K when the run used the
+	// multi-OS-core model (internal/oscore); 0 — and omitted — for the
+	// classic single-OS-core configuration, keeping legacy headers
+	// byte-identical.
+	OSCores int    `json:"os_cores,omitempty"`
+	Seed    uint64 `json:"seed"`
 	// TimeUnit names the unit of every Time/Cycles field: "cycle".
 	TimeUnit string `json:"time_unit"`
 }

@@ -10,6 +10,7 @@ import (
 	"offloadsim/internal/energy"
 	"offloadsim/internal/experiments"
 	"offloadsim/internal/migration"
+	"offloadsim/internal/oscore"
 	"offloadsim/internal/policy"
 	"offloadsim/internal/sample"
 	"offloadsim/internal/sim"
@@ -168,6 +169,41 @@ func RunParallel(cfg Config) (Result, error) {
 		cfg.Parallel = sim.DefaultParallel()
 	}
 	return Run(cfg)
+}
+
+// OSCores configures the multi-OS-core cluster model (Config.OSCores):
+// K OS cores with per-syscall-class affinity routing, asymmetric
+// big/little speed factors, optional fire-and-forget dispatch for
+// side-effect-only classes, queue-depth-aware threshold modulation and
+// load rebalancing. A K=1 synchronous symmetric block is exactly the
+// classic single-OS-core model and canonicalizes back to disabled. See
+// docs/OSCORES.md.
+type OSCores = sim.OSCores
+
+// OSCoresReport is the Result block of a multi-OS-core run: per-core
+// service metrics, per-class routing statistics and async accounting.
+type OSCoresReport = sim.OSCoresProvenance
+
+// MaxOSCores bounds Config.OSCores.K.
+const MaxOSCores = sim.MaxOSCores
+
+// DefaultOSCores returns an enabled synchronous k-core block with
+// round-robin class affinity and symmetric speeds.
+func DefaultOSCores(k int) OSCores { return sim.DefaultOSCores(k) }
+
+// ValidateAffinity checks a syscall-class affinity map ("class=core"
+// pairs, "*" wildcard) against an OS-core count — the up-front check CLI
+// front ends run before building a Config.
+func ValidateAffinity(s string, k int) error {
+	_, err := oscore.ParseAffinity(s, k)
+	return err
+}
+
+// ValidateAsymmetry checks a per-OS-core speed-factor list against an
+// OS-core count.
+func ValidateAsymmetry(s string, k int) error {
+	_, err := oscore.ParseAsymmetry(s, k)
+	return err
 }
 
 // TelemetryOptions selects what a traced run records: the structured
