@@ -9,9 +9,9 @@ GO ?= go
 .PHONY: ci fmt vet test race server-race build build-examples bench \
 	bench-json bench-engine bench-parallel bench-cluster bench-oscore \
 	accuracy accuracy-parallel golden golden-check fuzz-smoke \
-	telemetry-overhead cluster-e2e oscore-equivalence
+	telemetry-overhead cluster-e2e oscore-equivalence obs-smoke
 
-ci: fmt vet build-examples race golden-check fuzz-smoke telemetry-overhead cluster-e2e oscore-equivalence accuracy accuracy-parallel
+ci: fmt vet build-examples race golden-check fuzz-smoke telemetry-overhead obs-smoke cluster-e2e oscore-equivalence accuracy accuracy-parallel
 
 build:
 	$(GO) build ./...
@@ -110,9 +110,23 @@ bench-oscore:
 # detached must stay within 2% of the throughput recorded in
 # BENCH_engine.json — the nil-tracer checks are the only telemetry code
 # on the hot path (docs/TELEMETRY.md). Part of `make ci`. -pgo matches
-# bench-engine so the comparison is like-for-like.
+# bench-engine so the comparison is like-for-like. The second run gates
+# the service layer the same way: offsimd with tracing disabled must
+# stay within 2% of running the engine directly — the nil-*Tracer
+# guards are the only tracing code on the job path
+# (docs/OBSERVABILITY.md).
 telemetry-overhead:
 	OFFLOADSIM_TELEMETRY_OVERHEAD=BENCH_engine.json $(GO) test -run '^TestTelemetryOverheadDisabled$$' -count=1 -v -pgo=default.pgo .
+	OFFLOADSIM_TELEMETRY_OVERHEAD=1 $(GO) test -run '^TestServerTracingOverheadDisabled$$' -count=1 -v ./internal/server/
+
+# Distributed-tracing acceptance gate, part of `make ci`: a 3-replica
+# in-process fleet with tracing enabled runs a forwarded job, a stolen
+# job and an 8-point sweep, and each must download from
+# /v1/debug/traces/{id} as one orphan-free trace stitched across every
+# replica that touched it; plus span-ID determinism and byte-identical
+# results with tracing on vs off (docs/OBSERVABILITY.md).
+obs-smoke:
+	$(GO) test -run '^TestObs' -count=1 -v ./internal/server/
 
 # Byte-identical golden gate: the corpus in testdata/golden must
 # replay exactly. Part of `make ci`; a perf PR that fails this changed

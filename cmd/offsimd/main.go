@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -53,6 +54,12 @@ func main() {
 		advertise    = flag.String("advertise", "", "this replica's base URL as peers reach it (enables fleet mode)")
 		peersFlag    = flag.String("peers", "", "comma-separated peer base URLs (requires -advertise)")
 		stealThresh  = flag.Int("steal-threshold", 0, "queue depth that triggers work-stealing (0 = default, <0 disables)")
+		tracing      = flag.Bool("tracing", true, "record service spans and serve /v1/debug/traces")
+		traceStore   = flag.Int("trace-store", 1024, "max in-memory traces before FIFO eviction")
+		logFormat    = flag.String("log-format", "text", "structured log encoding: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		sloP95       = flag.Duration("slo-p95", 0, "per-job latency SLO target backing the burn counters (0 disables)")
+		sloHitMin    = flag.Float64("slo-hit-min", 0, "cache-hit-ratio SLO target in (0,1] (0 disables)")
 	)
 	flag.Parse()
 	if *queueSize < 1 {
@@ -74,6 +81,10 @@ func main() {
 	if err != nil {
 		fatalUsage("offsimd: %v", err)
 	}
+	obsOpts, err := parseObsFlags(*tracing, *traceStore, *logFormat, *logLevel, *sloP95, *sloHitMin)
+	if err != nil {
+		fatalUsage("offsimd: %v", err)
+	}
 
 	srv := server.New(server.Options{
 		QueueSize:    *queueSize,
@@ -81,6 +92,7 @@ func main() {
 		JobTimeout:   *jobTimeout,
 		CacheEntries: *cacheSize,
 		Cluster:      clusterOpts,
+		Obs:          obsOpts,
 	})
 	srv.Start()
 
@@ -114,6 +126,10 @@ func main() {
 	if clusterOpts.Enabled() {
 		log.Printf("offsimd: fleet mode: advertising %s with %d peer(s)",
 			clusterOpts.Membership.Self, len(clusterOpts.Membership.Peers))
+	}
+	if obsOpts.Tracing {
+		log.Printf("offsimd: service tracing on (%d-trace store), logs as %s at %s",
+			*traceStore, *logFormat, *logLevel)
 	}
 
 	select {
@@ -161,6 +177,42 @@ func parseClusterFlags(advertise, peers string, stealThreshold int) (server.Clus
 		return server.ClusterOptions{}, err
 	}
 	return server.ClusterOptions{Membership: mem, StealThreshold: stealThreshold}, nil
+}
+
+// parseObsFlags validates the observability flags and builds the
+// server's ObsOptions, including the structured logger the daemon logs
+// through. Like parseClusterFlags, a bad combination fails before the
+// server binds a socket.
+func parseObsFlags(tracing bool, traceStore int, logFormat, logLevel string, sloP95 time.Duration, sloHitMin float64) (server.ObsOptions, error) {
+	if traceStore < 1 {
+		return server.ObsOptions{}, fmt.Errorf("-trace-store must be >= 1 (got %d)", traceStore)
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(logLevel)); err != nil {
+		return server.ObsOptions{}, fmt.Errorf("-log-level %q: want debug, info, warn or error", logLevel)
+	}
+	var handler slog.Handler
+	switch logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	default:
+		return server.ObsOptions{}, fmt.Errorf("-log-format %q: want text or json", logFormat)
+	}
+	if sloP95 < 0 {
+		return server.ObsOptions{}, fmt.Errorf("-slo-p95 must be >= 0 (got %v)", sloP95)
+	}
+	if sloHitMin < 0 || sloHitMin > 1 {
+		return server.ObsOptions{}, fmt.Errorf("-slo-hit-min must be in [0,1] (got %g)", sloHitMin)
+	}
+	return server.ObsOptions{
+		Tracing:        tracing,
+		MaxTraces:      traceStore,
+		Logger:         slog.New(handler),
+		SLOLatencyP95:  sloP95,
+		SLOCacheHitMin: sloHitMin,
+	}, nil
 }
 
 func fatalUsage(format string, args ...any) {

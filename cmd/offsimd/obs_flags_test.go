@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseObsFlags pins the observability flags' startup validation:
+// a bad store size, log encoding, log level or SLO target is rejected
+// before the daemon binds a socket, and a good combination lands in
+// ObsOptions verbatim with a real logger attached.
+func TestParseObsFlags(t *testing.T) {
+	type args struct {
+		tracing    bool
+		traceStore int
+		logFormat  string
+		logLevel   string
+		sloP95     time.Duration
+		sloHitMin  float64
+	}
+	def := args{tracing: true, traceStore: 1024, logFormat: "text", logLevel: "info"}
+	cases := []struct {
+		name    string
+		mutate  func(*args)
+		wantErr string // substring; empty = success
+	}{
+		{"defaults", func(a *args) {}, ""},
+		{"tracing off", func(a *args) { a.tracing = false }, ""},
+		{"json logs", func(a *args) { a.logFormat = "json" }, ""},
+		{"debug level", func(a *args) { a.logLevel = "debug" }, ""},
+		{"warn level", func(a *args) { a.logLevel = "warn" }, ""},
+		{"slo targets", func(a *args) { a.sloP95 = 30 * time.Second; a.sloHitMin = 0.9 }, ""},
+		{"zero store", func(a *args) { a.traceStore = 0 }, "-trace-store"},
+		{"negative store", func(a *args) { a.traceStore = -5 }, "-trace-store"},
+		{"bad format", func(a *args) { a.logFormat = "logfmt" }, "-log-format"},
+		{"bad level", func(a *args) { a.logLevel = "loud" }, "-log-level"},
+		{"negative p95", func(a *args) { a.sloP95 = -time.Second }, "-slo-p95"},
+		{"hit-min above one", func(a *args) { a.sloHitMin = 1.5 }, "-slo-hit-min"},
+		{"negative hit-min", func(a *args) { a.sloHitMin = -0.1 }, "-slo-hit-min"},
+	}
+	for _, c := range cases {
+		a := def
+		c.mutate(&a)
+		got, err := parseObsFlags(a.tracing, a.traceStore, a.logFormat, a.logLevel, a.sloP95, a.sloHitMin)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("%s: err=%v, want substring %q", c.name, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+			continue
+		}
+		if got.Tracing != a.tracing || got.MaxTraces != a.traceStore ||
+			got.SLOLatencyP95 != a.sloP95 || got.SLOCacheHitMin != a.sloHitMin {
+			t.Errorf("%s: options %+v do not mirror the flags %+v", c.name, got, a)
+		}
+		if got.Logger == nil {
+			t.Errorf("%s: no logger built", c.name)
+		}
+	}
+}

@@ -10,11 +10,16 @@
 // Captured traces decouple predictor studies from the timing simulator:
 // the same stream can be replayed through either predictor organization
 // at any threshold, and the decision accuracy compared offline.
-// -convert turns a telemetry JSONL export (offsim -trace-format jsonl,
-// offsimd /v1/traces) into a Perfetto-loadable Chrome trace.
+// -convert turns a JSONL export into a Perfetto-loadable Chrome trace
+// and accepts both JSONL dialects the project emits: simulation-event
+// traces (offsim -trace-format jsonl, offsimd /v1/traces) and service-
+// span traces (offsimd /v1/debug/traces/{id}?format=jsonl). The file's
+// records pick the converter; a file mixing the two is rejected with
+// the offending line.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +28,7 @@ import (
 
 	"offloadsim"
 	"offloadsim/internal/core"
+	"offloadsim/internal/obs"
 	"offloadsim/internal/rng"
 	"offloadsim/internal/trace"
 	"offloadsim/internal/tracefile"
@@ -84,6 +90,9 @@ func validateFlags(capture, summary, replay, convert bool, file, out string, n, 
 	}
 	if convert && out == "" {
 		return fmt.Errorf("-convert requires -out")
+	}
+	if convert && out == file {
+		return fmt.Errorf("-out %q would overwrite the -convert input; pick a different path", out)
 	}
 	if !convert && out != "" {
 		return fmt.Errorf("-out only applies to -convert")
@@ -181,12 +190,11 @@ func doSummary(path string) {
 }
 
 func doConvert(path, out string) {
-	in, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fail(err.Error())
 	}
-	defer in.Close()
-	capt, err := offloadsim.ReadJSONLTrace(in)
+	kind, err := classifyJSONL(data)
 	if err != nil {
 		fail(fmt.Sprintf("reading %s: %v", path, err))
 	}
@@ -194,15 +202,79 @@ func doConvert(path, out string) {
 	if err != nil {
 		fail(err.Error())
 	}
-	if err := offloadsim.ExportTrace(capt, offloadsim.NewChromeSink(f)); err != nil {
-		f.Close()
-		fail(fmt.Sprintf("writing %s: %v", out, err))
+	switch kind {
+	case jsonlSpans:
+		spans, err := obs.ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			f.Close()
+			fail(fmt.Sprintf("reading %s: %v", path, err))
+		}
+		if err := obs.WriteChrome(f, spans); err != nil {
+			f.Close()
+			fail(fmt.Sprintf("writing %s: %v", out, err))
+		}
+		if err := f.Close(); err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("converted %d service spans into %s — load it in Perfetto or chrome://tracing\n",
+			len(spans), out)
+	case jsonlEvents:
+		capt, err := offloadsim.ReadJSONLTrace(bytes.NewReader(data))
+		if err != nil {
+			f.Close()
+			fail(fmt.Sprintf("reading %s: %v", path, err))
+		}
+		if err := offloadsim.ExportTrace(capt, offloadsim.NewChromeSink(f)); err != nil {
+			f.Close()
+			fail(fmt.Sprintf("writing %s: %v", out, err))
+		}
+		if err := f.Close(); err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("converted %d events (%s, %d cores) into %s — load it in Perfetto or chrome://tracing\n",
+			len(capt.Events), capt.Meta.Workload, capt.Meta.UserCores, out)
 	}
-	if err := f.Close(); err != nil {
-		fail(err.Error())
+}
+
+// jsonlKind labels the two JSONL dialects -convert accepts.
+type jsonlKind int
+
+const (
+	jsonlEvents jsonlKind = iota // simulation-event telemetry export
+	jsonlSpans                   // service-span export
+)
+
+// classifyJSONL decides which dialect a JSONL export holds by probing
+// every line for the span discriminator ("span_id"), and rejects files
+// that mix the two — the dialects look superficially similar, and a
+// silent best-effort parse would produce a half-empty Chrome trace.
+func classifyJSONL(data []byte) (jsonlKind, error) {
+	spanLine, eventLine := 0, 0 // first 1-based line of each dialect
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if obs.IsSpanRecord(line) {
+			if spanLine == 0 {
+				spanLine = i + 1
+			}
+		} else if eventLine == 0 {
+			eventLine = i + 1
+		}
 	}
-	fmt.Printf("converted %d events (%s, %d cores) into %s — load it in Perfetto or chrome://tracing\n",
-		len(capt.Events), capt.Meta.Workload, capt.Meta.UserCores, out)
+	switch {
+	case spanLine == 0 && eventLine == 0:
+		return jsonlEvents, fmt.Errorf("no JSONL records found")
+	case spanLine != 0 && eventLine != 0:
+		return jsonlEvents, fmt.Errorf(
+			"mixed export: line %d is a service span but line %d is a simulation event — "+
+				"the two JSONL dialects are different formats; export and convert them separately",
+			spanLine, eventLine)
+	case spanLine != 0:
+		return jsonlSpans, nil
+	default:
+		return jsonlEvents, nil
+	}
 }
 
 func doReplay(path string, n int, dm bool, entries int) {

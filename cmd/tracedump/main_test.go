@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestValidateFlags(t *testing.T) {
 	type args struct {
@@ -29,6 +32,8 @@ func TestValidateFlags(t *testing.T) {
 		{"negative n", func(a *args) { a.n = -1 }, true},
 		{"negative entries", func(a *args) { a.entries = -1500 }, true},
 		{"zero instrs", func(a *args) { a.instrs = 0 }, true},
+		{"convert onto input", func(a *args) { a.capture = false; a.convert = true; a.out = a.file }, true},
+		{"convert distinct out", func(a *args) { a.capture = false; a.convert = true; a.out = "x.trace.json" }, false},
 	}
 	for _, c := range cases {
 		a := ok
@@ -36,6 +41,36 @@ func TestValidateFlags(t *testing.T) {
 		err := validateFlags(a.capture, a.summary, a.replay, a.convert, a.file, a.out, a.n, a.entries, a.instrs)
 		if (err != nil) != c.wantErr {
 			t.Errorf("%s: err=%v, wantErr=%v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestClassifyJSONL(t *testing.T) {
+	event := `{"t":5,"core":0,"seq":1,"kind":"os_entry"}`
+	span := `{"trace_id":"ab","span_id":"cd","name":"request","start_unix_ns":1,"end_unix_ns":2,"status":"ok"}`
+	cases := []struct {
+		name    string
+		data    string
+		want    jsonlKind
+		wantErr string // substring of the error, "" for success
+	}{
+		{"events only", event + "\n" + event + "\n", jsonlEvents, ""},
+		{"spans only", span + "\n" + span + "\n", jsonlSpans, ""},
+		{"blank lines tolerated", "\n" + span + "\n\n", jsonlSpans, ""},
+		{"empty file", "\n\n", jsonlEvents, "no JSONL records"},
+		{"mixed span then event", span + "\n" + event + "\n", jsonlEvents, "line 2 is a simulation event"},
+		{"mixed event then span", event + "\n" + span + "\n", jsonlEvents, "line 2 is a service span"},
+	}
+	for _, c := range cases {
+		got, err := classifyJSONL([]byte(c.data))
+		if c.wantErr == "" {
+			if err != nil || got != c.want {
+				t.Errorf("%s: got kind=%v err=%v, want kind=%v", c.name, got, err, c.want)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err=%v, want substring %q", c.name, err, c.wantErr)
 		}
 	}
 }

@@ -31,6 +31,12 @@
 // healthy run shows a rising cache-hit ratio as the grid fills in. In a
 // fleet, submissions round-robin across replicas and each job is polled
 // at the replica the status document names — the one that owns it.
+//
+// -slo-report writes the same numbers as machine-readable JSON, plus a
+// per-stage latency breakdown (admission, queue_wait, sim_execute, ...)
+// scraped from a sample of the daemon's service traces via
+// /v1/debug/traces/{id} — empty when the daemon runs with -tracing=false
+// (docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -74,9 +80,61 @@ type jobStatus struct {
 }
 
 type sample struct {
+	id      string
+	replica string
 	latency time.Duration
 	cached  bool
 	stolen  bool
+}
+
+// span is the slice of the /v1/debug/traces span document the stage
+// breakdown needs; kept local so the loadtest reads like an external
+// client (docs/OBSERVABILITY.md).
+type span struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_unix_ns"`
+	EndNS   int64  `json:"end_unix_ns"`
+}
+
+// stageStats aggregates one span name's durations across the sampled
+// traces.
+type stageStats struct {
+	Spans  int     `json:"spans"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// sloReport is the machine-readable run summary -slo-report writes: the
+// same numbers the human report prints, plus the per-stage latency
+// breakdown scraped from the daemon's service traces.
+type sloReport struct {
+	Arrival       string  `json:"arrival"`
+	Replicas      int     `json:"replicas"`
+	Completed     int     `json:"completed"`
+	Submitted     int     `json:"submitted"`
+	WallMS        float64 `json:"wall_ms"`
+	JobsPerSecond float64 `json:"jobs_per_second"`
+	P50MS         float64 `json:"latency_p50_ms"`
+	P95MS         float64 `json:"latency_p95_ms"`
+	P99MS         float64 `json:"latency_p99_ms"`
+	FleetHitRatio float64 `json:"fleet_cache_hit_ratio"`
+	StealRate     float64 `json:"fleet_steal_rate"`
+	Rejected429   int64   `json:"rejected_429"`
+	Failed        int64   `json:"failed"`
+	// SLO echoes the gates and whether each one failed; Pass is the
+	// process exit contract (false exits non-zero).
+	SLO struct {
+		P95MaxMS       float64 `json:"p95_max_ms,omitempty"`
+		P95Violated    bool    `json:"p95_violated"`
+		HitMin         float64 `json:"hit_min,omitempty"`
+		HitMinViolated bool    `json:"hit_min_violated"`
+		Pass           bool    `json:"pass"`
+	} `json:"slo"`
+	// TracedJobs counts the completed jobs whose service trace was
+	// scraped for the stage breakdown (0 when the daemon runs with
+	// tracing disabled).
+	TracedJobs int                   `json:"traced_jobs"`
+	Stages     map[string]stageStats `json:"stage_latency_ms,omitempty"`
 }
 
 // fleetCounters are the /metrics series the report aggregates across
@@ -105,6 +163,7 @@ func main() {
 		affinity  = flag.String("affinity", "", "syscall-class affinity map for the cluster scenario")
 		asymmetry = flag.String("asymmetry", "", "per-OS-core speed factors for the cluster scenario")
 		async     = flag.Bool("async", false, "fire-and-forget off-load for side-effect-only syscall classes")
+		sloOut    = flag.String("slo-report", "", "write a machine-readable JSON report to this path (\"-\" = stdout), with a per-stage latency breakdown scraped from service traces")
 	)
 	flag.Parse()
 	if *k < 1 || *jobs < 1 || *seeds < 1 || *measure == 0 {
@@ -287,15 +346,66 @@ func main() {
 	if failed.Load() > 0 {
 		exit = 1
 	}
-	if *p95Max > 0 && pct(0.95) > *p95Max {
+	p95Violated := *p95Max > 0 && pct(0.95) > *p95Max
+	if p95Violated {
 		fmt.Fprintf(os.Stderr, "loadtest: SLO violation: p95 %v > -p95-max %v\n", pct(0.95), *p95Max)
 		exit = 1
 	}
-	if *hitMin >= 0 && hitRatio < *hitMin {
+	hitViolated := *hitMin >= 0 && hitRatio < *hitMin
+	if hitViolated {
 		fmt.Fprintf(os.Stderr, "loadtest: SLO violation: fleet cache-hit ratio %.3f < -hit-min %.3f\n", hitRatio, *hitMin)
 		exit = 1
 	}
+
+	if *sloOut != "" {
+		ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+		rep := sloReport{
+			Arrival:       *arrival,
+			Replicas:      len(addrs),
+			Completed:     len(samples),
+			Submitted:     total,
+			WallMS:        ms(wall),
+			JobsPerSecond: float64(len(samples)) / wall.Seconds(),
+			P50MS:         ms(pct(0.50)),
+			P95MS:         ms(pct(0.95)),
+			P99MS:         ms(pct(0.99)),
+			FleetHitRatio: hitRatio,
+			StealRate:     stealRate,
+			Rejected429:   rejected.Load(),
+			Failed:        failed.Load(),
+		}
+		rep.SLO.P95MaxMS = ms(*p95Max)
+		rep.SLO.P95Violated = p95Violated
+		if *hitMin >= 0 {
+			rep.SLO.HitMin = *hitMin
+		}
+		rep.SLO.HitMinViolated = hitViolated
+		rep.SLO.Pass = exit == 0
+		rep.Stages, rep.TracedJobs = collectStages(client, samples, 16)
+		if err := writeSLOReport(*sloOut, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			exit = 1
+		}
+	}
 	os.Exit(exit)
+}
+
+// writeSLOReport marshals the report to path, or stdout for "-".
+func writeSLOReport(path string, rep sloReport) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("writing -slo-report: %w", err)
+	}
+	fmt.Printf("slo report          %s (%d traced jobs)\n", path, rep.TracedJobs)
+	return nil
 }
 
 // scrapeFleet sums the counters of interest across every replica's
@@ -400,5 +510,64 @@ func runOne(client *http.Client, addr string, spec jobSpec, timeout time.Duratio
 	if st.State == "failed" {
 		return sample{}, fmt.Errorf("job %s failed: %s", st.ID, st.Error)
 	}
-	return sample{latency: time.Since(start), cached: st.Cached, stolen: stolen}, nil
+	return sample{id: st.ID, replica: pollAddr, latency: time.Since(start), cached: st.Cached, stolen: stolen}, nil
+}
+
+// collectStages scrapes the service traces of up to limit completed
+// jobs from the replicas that ran them and aggregates span durations by
+// stage name — the per-stage latency breakdown behind the end-to-end
+// percentiles. A daemon running with tracing disabled answers 404,
+// which degrades to an empty breakdown rather than an error.
+func collectStages(client *http.Client, samples []sample, limit int) (map[string]stageStats, int) {
+	type acc struct {
+		n     int
+		total time.Duration
+		max   time.Duration
+	}
+	accs := map[string]*acc{}
+	traced := 0
+	for _, s := range samples {
+		if traced >= limit {
+			break
+		}
+		resp, err := client.Get(s.replica + "/v1/debug/traces/" + s.id + "?format=json")
+		if err != nil {
+			continue
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var spans []span
+		if err := json.Unmarshal(raw, &spans); err != nil {
+			continue
+		}
+		traced++
+		for _, sp := range spans {
+			a := accs[sp.Name]
+			if a == nil {
+				a = &acc{}
+				accs[sp.Name] = a
+			}
+			d := time.Duration(sp.EndNS - sp.StartNS)
+			a.n++
+			a.total += d
+			if d > a.max {
+				a.max = d
+			}
+		}
+	}
+	if len(accs) == 0 {
+		return nil, traced
+	}
+	out := make(map[string]stageStats, len(accs))
+	for name, a := range accs {
+		out[name] = stageStats{
+			Spans:  a.n,
+			MeanMS: float64(a.total) / float64(a.n) / 1e6,
+			MaxMS:  float64(a.max) / 1e6,
+		}
+	}
+	return out, traced
 }

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"offloadsim/internal/obs"
 )
 
 // ErrPeerBusy reports that a peer rejected work with 429 backpressure;
@@ -111,13 +113,19 @@ func (p *PeerClient) Load(ctx context.Context, base string) (LoadReport, error) 
 // POST /v1/peer/execute and blocks until the result JSON comes back.
 // The receiving replica executes locally — no re-routing, no re-steal —
 // through its own queue and workers, so the work shows up in its
-// canonical queue metrics. 429 maps to ErrPeerBusy.
-func (p *PeerClient) Execute(ctx context.Context, base string, specJSON []byte) ([]byte, error) {
+// canonical queue metrics. 429 maps to ErrPeerBusy. A non-empty
+// traceparent rides along in the trace-propagation header, stitching the
+// remote execution into the caller's service trace
+// (docs/OBSERVABILITY.md).
+func (p *PeerClient) Execute(ctx context.Context, base string, specJSON []byte, traceparent string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/peer/execute", bytes.NewReader(specJSON))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(obs.TraceHeader, traceparent)
+	}
 	resp, err := p.HTTP.Do(req)
 	if err != nil {
 		return nil, err
@@ -135,6 +143,31 @@ func (p *PeerClient) Execute(ctx context.Context, base string, specJSON []byte) 
 	default:
 		return nil, fmt.Errorf("cluster: peer %s execute: HTTP %d: %s", base, resp.StatusCode, truncate(body, 200))
 	}
+}
+
+// FetchSpans retrieves base's stored spans of one service trace via
+// GET /v1/peer/spans/{traceid} — the fleet-stitching leg of
+// /v1/debug/traces. An empty list is a normal answer (that replica
+// touched no part of the trace), not an error.
+func (p *PeerClient) FetchSpans(ctx context.Context, base, traceID string) ([]obs.Span, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/peer/spans/"+traceID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("cluster: peer %s span fetch: HTTP %d: %s", base, resp.StatusCode, truncate(body, 200))
+	}
+	var spans []obs.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
 }
 
 func truncate(b []byte, n int) string {

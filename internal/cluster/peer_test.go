@@ -82,7 +82,7 @@ func TestExecuteBackpressure(t *testing.T) {
 	}))
 	defer ts.Close()
 	p := NewPeerClient(nil)
-	_, err := p.Execute(context.Background(), ts.URL, []byte(`{}`))
+	_, err := p.Execute(context.Background(), ts.URL, []byte(`{}`), "")
 	if !errors.Is(err, ErrPeerBusy) {
 		t.Errorf("429 mapped to %v, want ErrPeerBusy", err)
 	}

@@ -118,6 +118,10 @@ func (r *Ring) Members() []string {
 // Size returns the member count.
 func (r *Ring) Size() int { return len(r.members) }
 
+// VNodesPerMember returns how many virtual nodes each member
+// contributes to the ring.
+func (r *Ring) VNodesPerMember() int { return r.vnodes }
+
 // hash64 is the first eight bytes of SHA-256: stable across processes,
 // architectures and Go releases (restart-deterministic ownership), and
 // well-dispersed even for near-identical inputs like "addr#17" vnode

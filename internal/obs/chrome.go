@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// WriteChrome renders a (possibly fleet-stitched) span set as a Chrome
+// trace-event JSON document, loadable in Perfetto / chrome://tracing —
+// the same viewer vocabulary as internal/telemetry's ChromeSink, but
+// over wall time: each replica becomes a process row, each job a thread
+// row, and each span an "X" slice whose args carry the span identity
+// and attributes. Timestamps are microseconds relative to the earliest
+// span, so fleet traces line up even though absolute clocks differ.
+func WriteChrome(w io.Writer, spans []Span) error {
+	spans = append([]Span(nil), spans...)
+	SortSpans(spans)
+
+	replicaName := func(r string) string {
+		if r == "" {
+			return "local"
+		}
+		return r
+	}
+
+	// Stable row assignment: processes are the sorted replica set,
+	// threads are jobs in first-span order (tid 0 is the service row for
+	// spans with no job: request routing, sweep coordination).
+	pidOf := map[string]int{}
+	var replicas []string
+	for _, s := range spans {
+		if _, ok := pidOf[s.Replica]; !ok {
+			pidOf[s.Replica] = 0
+			replicas = append(replicas, s.Replica)
+		}
+	}
+	sort.Strings(replicas)
+	for i, r := range replicas {
+		pidOf[r] = i
+	}
+	type row struct{ replica, job string }
+	tidOf := map[row]int{}
+	nextTid := map[string]int{}
+	for _, s := range spans {
+		if s.JobID == "" {
+			continue
+		}
+		k := row{s.Replica, s.JobID}
+		if _, ok := tidOf[k]; !ok {
+			nextTid[s.Replica]++
+			tidOf[k] = nextTid[s.Replica]
+		}
+	}
+
+	var minStart int64
+	if len(spans) > 0 {
+		minStart = spans[0].StartNS
+	}
+
+	type chromeEvent struct {
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur,omitempty"`
+		Name string         `json:"name"`
+		Cat  string         `json:"cat,omitempty"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","otherData":{"layer":"service","time_unit":"wall"},"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	for _, r := range replicas {
+		if err := emit(chromeEvent{Ph: "M", Pid: pidOf[r], Name: "process_name",
+			Args: map[string]any{"name": "offsimd " + replicaName(r)}}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{Ph: "M", Pid: pidOf[r], Tid: 0, Name: "thread_name",
+			Args: map[string]any{"name": "service"}}); err != nil {
+			return err
+		}
+	}
+	named := map[row]bool{}
+	for _, s := range spans {
+		if s.JobID == "" {
+			continue
+		}
+		k := row{s.Replica, s.JobID}
+		if named[k] {
+			continue
+		}
+		named[k] = true
+		if err := emit(chromeEvent{Ph: "M", Pid: pidOf[s.Replica], Tid: tidOf[k], Name: "thread_name",
+			Args: map[string]any{"name": s.JobID}}); err != nil {
+			return err
+		}
+	}
+
+	for _, s := range spans {
+		tid := 0
+		if s.JobID != "" {
+			tid = tidOf[row{s.Replica, s.JobID}]
+		}
+		dur := float64(s.DurationNS()) / 1e3
+		if dur < 1 {
+			// Sub-microsecond slices render as zero-width; clamp so every
+			// stage stays visible on the timeline.
+			dur = 1
+		}
+		args := map[string]any{
+			"span_id": s.SpanID,
+			"status":  s.Status,
+		}
+		if s.Parent != "" {
+			args["parent_id"] = s.Parent
+		}
+		if s.Error != "" {
+			args["error"] = s.Error
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		if err := emit(chromeEvent{
+			Ph: "X", Pid: pidOf[s.Replica], Tid: tid,
+			Ts: float64(s.StartNS-minStart) / 1e3, Dur: &dur,
+			Name: s.Name, Cat: "service", Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

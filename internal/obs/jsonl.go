@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL renders spans one JSON object per line — the service-span
+// interchange format served by GET /v1/debug/traces/{id}?format=jsonl
+// and consumed by cmd/tracedump -convert. Spans are written in the
+// canonical (StartNS, SpanID) order.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	spans = append([]Span(nil), spans...)
+	SortSpans(spans)
+	bw := bufio.NewWriter(w)
+	for _, s := range spans {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a span-JSONL stream. Every non-blank line must be a
+// span record (identified by its "span_id" field); a sim-event record
+// produces an error naming the line, so a mixed file fails loudly
+// instead of half-converting.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if !IsSpanRecord(line) {
+			return nil, fmt.Errorf("line %d: not a service-span record (no \"span_id\" field); "+
+				"simulation-event traces are a different format — do not mix the two in one file", lineNo)
+		}
+		var s Span
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if s.TraceID == "" || s.SpanID == "" || s.Name == "" {
+			return nil, fmt.Errorf("line %d: span record missing trace_id/span_id/name", lineNo)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IsSpanRecord reports whether one JSONL line is a service-span record
+// (as opposed to a sim-event record): it is a JSON object with a
+// "span_id" field. Used by cmd/tracedump to classify input files.
+func IsSpanRecord(line []byte) bool {
+	var probe struct {
+		SpanID *string `json:"span_id"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return false
+	}
+	return probe.SpanID != nil
+}

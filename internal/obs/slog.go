@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LoggerOrDiscard returns l, or a zero-cost discard logger when l is
+// nil — so server code logs unconditionally and the disabled path pays
+// only an Enabled() check (no record formatting, no allocation).
+func LoggerOrDiscard(l *slog.Logger) *slog.Logger {
+	if l != nil {
+		return l
+	}
+	return slog.New(discardHandler{})
+}
+
+// discardHandler drops everything before any formatting happens.
+// (slog.DiscardHandler exists upstream but postdates this module's
+// language version.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// LogContext returns the trace/span correlation attributes for sc,
+// ready to splat into a slog call: log.Info("msg", obs.LogContext(sc)...).
+// Empty for an invalid context, so untraced requests log cleanly.
+func LogContext(sc SpanContext) []any {
+	if !sc.Valid() {
+		return nil
+	}
+	if sc.SpanID == "" {
+		return []any{slog.String("trace_id", sc.TraceID)}
+	}
+	return []any{slog.String("trace_id", sc.TraceID), slog.String("span_id", sc.SpanID)}
+}

@@ -1,0 +1,45 @@
+package obs
+
+// Span is one completed service-trace span. Times are wall-clock unix
+// nanoseconds: service traces measure real queueing and network time,
+// unlike sim telemetry's cycle clock. The JSON field set doubles as the
+// span-JSONL record format (one span per line) consumed by
+// cmd/tracedump -convert; the presence of "span_id" is what
+// distinguishes a span record from a sim-event record.
+type Span struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// Parent is the parent span's ID; empty for a trace's root span.
+	Parent string `json:"parent_id,omitempty"`
+	// Name is the stage: admission, queue_wait, cache_lookup,
+	// peer_cache_fetch, ring_route, peer_forward, steal_push,
+	// peer_execute, sweep, sweep_point, sweep_baseline, sim_execute,
+	// oscore_reconcile, request (docs/OBSERVABILITY.md).
+	Name string `json:"name"`
+	// Replica is the advertised base URL of the replica that emitted
+	// the span; empty outside fleet mode.
+	Replica string `json:"replica,omitempty"`
+	// JobID ties execution spans to their job (or sweep) record.
+	JobID   string `json:"job_id,omitempty"`
+	StartNS int64  `json:"start_unix_ns"`
+	EndNS   int64  `json:"end_unix_ns"`
+	// Status is "ok" or "error".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// Attrs carries stage-specific details (owner, victim, outcome, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Context returns the span's position for parenting children.
+func (s Span) Context() SpanContext {
+	return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID}
+}
+
+// DurationNS returns the span's wall duration in nanoseconds.
+func (s Span) DurationNS() int64 { return s.EndNS - s.StartNS }
+
+// Span statuses.
+const (
+	StatusOK    = "ok"
+	StatusError = "error"
+)

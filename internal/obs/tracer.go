@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultMaxTraces bounds the in-memory trace store when the caller
+// does not say otherwise.
+const DefaultMaxTraces = 1024
+
+// maxSpansPerTrace bounds one trace's span count so a pathological
+// sweep cannot grow a single trace without limit; spans beyond the cap
+// are counted as dropped.
+const maxSpansPerTrace = 8192
+
+// Tracer collects this replica's spans into a bounded in-memory store,
+// keyed by trace ID. A nil *Tracer is the disabled path: every method
+// is a cheap no-op, so instrumented code never branches on enablement.
+//
+// Determinism: span IDs come from per-(parent, name) sibling counters,
+// so as long as same-named siblings under one parent are created from
+// one goroutine (true for every emission site in internal/server), the
+// span tree — IDs included — is a pure function of the request
+// sequence, never of scheduling.
+type Tracer struct {
+	replica string
+	max     int
+	clock   func() time.Time
+
+	mu       sync.Mutex
+	traces   map[string]*traceBuf
+	order    []string          // insertion order, oldest first (FIFO eviction)
+	byID     map[string]string // job or sweep id -> trace id
+	recorded uint64
+	dropped  uint64
+	evicted  uint64
+}
+
+type traceBuf struct {
+	spans  []Span
+	counts map[string]int // parentID+"\x00"+name -> next sibling ordinal
+	ids    []string       // job/sweep ids bound to this trace
+}
+
+// NewTracer builds a tracer for one replica. replica is the advertised
+// base URL ("" outside fleet mode); maxTraces <= 0 takes
+// DefaultMaxTraces; clock nil takes time.Now (tests inject their own).
+func NewTracer(replica string, maxTraces int, clock func() time.Time) *Tracer {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{
+		replica: replica,
+		max:     maxTraces,
+		clock:   clock,
+		traces:  make(map[string]*traceBuf),
+		byID:    make(map[string]string),
+	}
+}
+
+// ActiveSpan is a span in progress. The zero/nil value (from a nil or
+// declined Tracer) is inert: every method no-ops and Context returns
+// the invalid SpanContext, so callers never nil-check.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+}
+
+// StartSpan opens a span named name under parent, allocating its
+// deterministic ID immediately (children may be parented under it
+// before it ends). Returns nil — inert — when the tracer is disabled
+// or parent is invalid.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *ActiveSpan {
+	return t.startSpan(parent, name, -1)
+}
+
+// StartSpanOrdinal is StartSpan with an explicit sibling ordinal, for
+// spans created concurrently under one parent (sweep points use their
+// grid index) where a call-order counter would not be deterministic.
+func (t *Tracer) StartSpanOrdinal(parent SpanContext, name string, ordinal int) *ActiveSpan {
+	if ordinal < 0 {
+		ordinal = 0
+	}
+	return t.startSpan(parent, name, ordinal)
+}
+
+func (t *Tracer) startSpan(parent SpanContext, name string, ordinal int) *ActiveSpan {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	if ordinal < 0 {
+		ordinal = t.nextOrdinal(parent, name)
+	}
+	return &ActiveSpan{
+		t: t,
+		span: Span{
+			TraceID: parent.TraceID,
+			SpanID:  spanID(parent.TraceID, parent.SpanID, name, ordinal),
+			Parent:  parent.SpanID,
+			Name:    name,
+			Replica: t.replica,
+			StartNS: t.clock().UnixNano(),
+			Status:  StatusOK,
+		},
+	}
+}
+
+// nextOrdinal hands out sibling ordinals under (parent, name). The
+// counter lives with the trace, so it is dropped with it on eviction.
+func (t *Tracer) nextOrdinal(parent SpanContext, name string) int {
+	key := parent.SpanID + "\x00" + name
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tb := t.bufLocked(parent.TraceID)
+	n := tb.counts[key]
+	tb.counts[key] = n + 1
+	return n
+}
+
+// RecordSpan records an already-measured span in one shot — for stages
+// whose boundaries are known after the fact (queue wait, cache lookup).
+// jobID may be empty for spans not tied to a job record. Returns the
+// recorded span's context for parenting, or the invalid context when
+// disabled.
+func (t *Tracer) RecordSpan(parent SpanContext, name, jobID string, start, end time.Time, status, errMsg string, attrs map[string]string) SpanContext {
+	sp := t.StartSpan(parent, name)
+	if sp == nil {
+		return SpanContext{}
+	}
+	sp.span.StartNS = start.UnixNano()
+	if errMsg != "" || status == StatusError {
+		sp.span.Status = StatusError
+		sp.span.Error = errMsg
+	}
+	sp.span.Attrs = attrs
+	sp.SetJob(jobID)
+	sp.endAt(end)
+	return sp.Context()
+}
+
+// Context returns the span's position for parenting and propagation.
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return a.span.Context()
+}
+
+// SetAttr attaches a stage-specific key/value.
+func (a *ActiveSpan) SetAttr(k, v string) {
+	if a == nil {
+		return
+	}
+	if a.span.Attrs == nil {
+		a.span.Attrs = make(map[string]string, 4)
+	}
+	a.span.Attrs[k] = v
+}
+
+// SetJob ties the span to a job or sweep record and binds that ID to
+// the trace, so GET /v1/debug/traces/{id} resolves it.
+func (a *ActiveSpan) SetJob(id string) {
+	if a == nil || id == "" {
+		return
+	}
+	a.span.JobID = id
+	a.t.BindJob(id, a.span.TraceID)
+}
+
+// SetError marks the span failed. The message is kept even when empty
+// status flips are wanted; pass a reason whenever one exists.
+func (a *ActiveSpan) SetError(msg string) {
+	if a == nil {
+		return
+	}
+	a.span.Status = StatusError
+	a.span.Error = msg
+}
+
+// End closes the span at the tracer's clock and stores it.
+func (a *ActiveSpan) End() {
+	if a == nil {
+		return
+	}
+	a.endAt(a.t.clock())
+}
+
+func (a *ActiveSpan) endAt(end time.Time) {
+	a.span.EndNS = end.UnixNano()
+	a.t.store(a.span)
+}
+
+// store appends one finished span, evicting the oldest whole trace
+// when the store is full. A span for an already-evicted trace is
+// dropped rather than resurrecting the trace half-empty.
+func (t *Tracer) store(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tb, ok := t.traces[s.TraceID]
+	if !ok {
+		// First record for this trace (counters may have come and gone
+		// with an eviction): admit it as a fresh trace.
+		tb = t.bufLocked(s.TraceID)
+	}
+	if len(tb.spans) >= maxSpansPerTrace {
+		t.dropped++
+		return
+	}
+	tb.spans = append(tb.spans, s)
+	t.recorded++
+}
+
+// bufLocked returns the trace's buffer, creating (and FIFO-evicting)
+// as needed. Caller holds t.mu.
+func (t *Tracer) bufLocked(traceID string) *traceBuf {
+	if tb, ok := t.traces[traceID]; ok {
+		return tb
+	}
+	for len(t.order) >= t.max {
+		oldest := t.order[0]
+		t.order = t.order[1:]
+		if old, ok := t.traces[oldest]; ok {
+			for _, id := range old.ids {
+				if t.byID[id] == oldest {
+					delete(t.byID, id)
+				}
+			}
+			delete(t.traces, oldest)
+			t.evicted++
+		}
+	}
+	tb := &traceBuf{counts: make(map[string]int)}
+	t.traces[traceID] = tb
+	t.order = append(t.order, traceID)
+	return tb
+}
+
+// BindJob maps a job or sweep ID to its trace for debug-endpoint
+// resolution. No-op when disabled.
+func (t *Tracer) BindJob(id, traceID string) {
+	if t == nil || id == "" || traceID == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tb := t.bufLocked(traceID)
+	if t.byID[id] != traceID {
+		t.byID[id] = traceID
+		tb.ids = append(tb.ids, id)
+	}
+}
+
+// TraceIDFor resolves a job or sweep ID to its trace ID.
+func (t *Tracer) TraceIDFor(id string) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tid, ok := t.byID[id]
+	return tid, ok
+}
+
+// Spans snapshots this replica's spans for one trace, sorted by
+// (StartNS, SpanID) so equal-input runs list spans identically.
+func (t *Tracer) Spans(traceID string) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tb, ok := t.traces[traceID]
+	var out []Span
+	if ok {
+		out = append(out, tb.spans...)
+	}
+	t.mu.Unlock()
+	SortSpans(out)
+	return out
+}
+
+// SortSpans orders spans by start time, breaking ties by span ID — the
+// canonical presentation order for stitched traces.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNS != spans[j].StartNS {
+			return spans[i].StartNS < spans[j].StartNS
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+}
+
+// Stats reports the store's size and lifetime counters: live traces,
+// live spans, spans recorded, spans dropped (per-trace cap), and whole
+// traces evicted (store cap).
+func (t *Tracer) Stats() (traces, spans int, recorded, dropped, evicted uint64) {
+	if t == nil {
+		return 0, 0, 0, 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tb := range t.traces {
+		spans += len(tb.spans)
+	}
+	return len(t.traces), spans, t.recorded, t.dropped, t.evicted
+}

@@ -84,8 +84,8 @@ func TestMetricsExposition(t *testing.T) {
 		"offsimd_jobs_completed_total 2",
 		"offsimd_jobs_failed_total 1",
 		"offsimd_cache_hits_total 1",
-		"# TYPE offsimd_queue_depth gauge",
-		"offsimd_queue_depth 2",
+		"# TYPE offsimd_queue_depth_jobs gauge",
+		"offsimd_queue_depth_jobs 2",
 		"# TYPE offsimd_job_latency_seconds histogram",
 		`offsimd_job_latency_seconds_bucket{le="0.005"} 1`,
 		`offsimd_job_latency_seconds_bucket{le="10"} 2`,

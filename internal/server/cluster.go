@@ -7,10 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"offloadsim/internal/cluster"
+	"offloadsim/internal/obs"
 )
 
 // internalHeader marks replica-to-replica HTTP traffic. A request
@@ -126,13 +129,21 @@ func (s *Server) stealOrRun(j *job) {
 				defer cancel()
 			}
 			s.metrics.JobsStolen.Add(1)
-			res, err := s.cluster.client.Execute(ctx, victim, specJSON)
+			push := s.obs.StartSpan(j.tctx, "steal_push")
+			push.SetJob(j.id)
+			push.SetAttr("victim", victim)
+			res, err := s.cluster.client.Execute(ctx, victim, specJSON, push.Context().Traceparent())
 			if err == nil {
+				push.End()
 				s.finishJob(j, res, nil, "")
 				return
 			}
 			// The victim bounced (full queue, drain, network): fall
 			// through to local execution.
+			push.SetError(err.Error())
+			push.End()
+			s.log.Warn("steal push failed, running locally", append(obs.LogContext(j.tctx),
+				slog.String("job", j.id), slog.String("victim", victim), slog.String("error", err.Error()))...)
 		}
 	}
 	s.enqueueBlocking(j)
@@ -183,7 +194,22 @@ func (s *Server) tryPeerFetch(j *job) ([]byte, bool) {
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, 10*time.Second)
 	defer cancel()
+	var fetchStart time.Time
+	if s.obs != nil {
+		fetchStart = s.now()
+	}
 	b, ok, err := c.client.FetchResult(ctx, owner, j.key)
+	if s.obs != nil {
+		attrs := map[string]string{"tier": "peer", "owner": owner, "outcome": "miss"}
+		status, errMsg := obs.StatusOK, ""
+		switch {
+		case err != nil:
+			status, errMsg = obs.StatusError, err.Error()
+		case ok:
+			attrs["outcome"] = "hit"
+		}
+		s.obs.RecordSpan(j.tctx, "peer_cache_fetch", j.id, fetchStart, s.now(), status, errMsg, attrs)
+	}
 	if err != nil || !ok {
 		s.metrics.PeerCacheMisses.Add(1)
 		return nil, false
@@ -231,28 +257,53 @@ func (s *Server) handlePeerExecute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed job spec: " + err.Error()})
 		return
 	}
-	st, err := s.submit(spec, submitOpts{internal: true})
+	// The caller's traceparent (steal_push or sweep fan-out span) stitches
+	// this replica's execution into the originating service trace.
+	var exec *obs.ActiveSpan
+	sc := obs.SpanContext{}
+	if parent, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceHeader)); ok {
+		exec = s.obs.StartSpan(parent, "peer_execute")
+		sc = exec.Context()
+	}
+	fail := func(status string) {
+		if exec != nil {
+			exec.SetError(status)
+			exec.End()
+		}
+	}
+	st, err := s.submit(spec, submitOpts{internal: true, sc: sc})
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		fail(err.Error())
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
+		fail(err.Error())
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		return
 	case err != nil:
+		fail(err.Error())
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
+	if exec != nil {
+		exec.SetJob(st.ID)
+	}
 	s.metrics.PeerExecutes.Add(1)
 	if _, err := s.Wait(r.Context(), st.ID); err != nil {
+		fail("peer execute interrupted: " + err.Error())
 		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: "peer execute interrupted: " + err.Error()})
 		return
 	}
 	res, fin, _ := s.Result(st.ID)
 	if fin.State != StateDone {
+		fail(fin.Error)
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: fin.Error})
 		return
+	}
+	if exec != nil {
+		exec.End()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -263,22 +314,38 @@ func (s *Server) handlePeerExecute(w http.ResponseWriter, r *http.Request) {
 // the owner's response verbatim, so the client sees exactly the status
 // document (including the owner's "replica" field) it would have
 // gotten by submitting there directly.
-func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, owner string, body []byte) {
+func (s *Server) forwardSubmit(w http.ResponseWriter, r *http.Request, owner string, body []byte, parent obs.SpanContext) {
 	s.metrics.JobsForwarded.Add(1)
+	fwd := s.obs.StartSpan(parent, "peer_forward")
+	fwd.SetAttr("owner", owner)
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
 		owner+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
+		fwd.SetError(err.Error())
+		fwd.End()
 		writeJSON(w, http.StatusBadGateway, apiError{Error: "forwarding to owner: " + err.Error()})
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(internalHeader, "forwarded")
+	if tp := fwd.Context().Traceparent(); tp != "" {
+		req.Header.Set(obs.TraceHeader, tp)
+	}
 	resp, err := s.cluster.client.HTTP.Do(req)
 	if err != nil {
+		fwd.SetError(err.Error())
+		fwd.End()
+		s.log.Warn("forward to ring owner failed", append(obs.LogContext(parent),
+			slog.String("owner", owner), slog.String("error", err.Error()))...)
 		writeJSON(w, http.StatusBadGateway, apiError{Error: fmt.Sprintf("forwarding to owner %s: %v", owner, err)})
 		return
 	}
 	defer resp.Body.Close()
+	fwd.SetAttr("code", strconv.Itoa(resp.StatusCode))
+	if resp.StatusCode >= 400 {
+		fwd.SetError(fmt.Sprintf("owner replied HTTP %d", resp.StatusCode))
+	}
+	fwd.End()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
 	}

@@ -565,7 +565,18 @@ func TestFleetMetricsAudit(t *testing.T) {
 		"offsimd_queue_depth_jobs",
 		"offsimd_queue_wait_seconds_count",
 		"offsimd_job_latency_seconds_count",
+		"offsimd_trace_store_traces",
+		"offsimd_trace_store_spans",
+		"offsimd_spans_recorded_total",
+		"offsimd_spans_dropped_total",
+		"offsimd_traces_evicted_total",
+		"offsimd_go_goroutines",
+		"offsimd_go_heap_bytes",
+		"offsimd_go_gc_cycles_total",
+		"offsimd_go_gc_pause_seconds_total",
 	}
+	// The PR-5 deprecated unsuffixed aliases must be gone for good.
+	deprecated := []string{"offsimd_queue_depth ", "offsimd_reserved_slots "}
 	var submitted, queueWaits, owned float64
 	for i, rep := range fl.reps {
 		resp, err := http.Get(rep.addr + "/metrics")
@@ -578,6 +589,11 @@ func TestFleetMetricsAudit(t *testing.T) {
 		for _, name := range registered {
 			if !strings.Contains(text, "\n"+name+" ") && !strings.HasPrefix(text, name+" ") {
 				t.Fatalf("replica %d: metric %s not exposed", i, name)
+			}
+		}
+		for _, name := range deprecated {
+			if strings.Contains(text, "\n"+name) {
+				t.Fatalf("replica %d: removed deprecated alias %sstill exposed", i, name)
 			}
 		}
 		for _, line := range strings.Split(text, "\n") {

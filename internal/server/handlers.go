@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 
+	"offloadsim/internal/obs"
 	"offloadsim/internal/sim"
 	"offloadsim/internal/telemetry"
 )
@@ -31,6 +34,15 @@ import (
 //	GET  /v1/peer/results/{key}      peer cache probe (404 = not cached)
 //	POST /v1/peer/execute            synchronous execution for a peer
 //	GET  /v1/peer/load               queue-depth report for victim selection
+//	GET  /v1/peer/spans/{traceid}    this replica's spans of one service trace
+//
+// Debug endpoints (docs/OBSERVABILITY.md; traces require Obs.Tracing):
+//
+//	GET  /v1/debug/traces/{id}  fleet-stitched service trace of a job,
+//	                            sweep or raw trace ID
+//	                            (?format=chrome|json|jsonl, default chrome)
+//	GET  /v1/debug/ring         ring membership and key ownership counts
+//	GET  /v1/debug/cache        result-cache contents and tier statistics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -42,6 +54,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/peer/results/{key}", s.handlePeerResult)
 	mux.HandleFunc("POST /v1/peer/execute", s.handlePeerExecute)
 	mux.HandleFunc("GET /v1/peer/load", s.handlePeerLoad)
+	mux.HandleFunc("GET /v1/peer/spans/{traceid}", s.handlePeerSpans)
+	mux.HandleFunc("GET /v1/debug/traces/{id}", s.handleDebugTrace)
+	mux.HandleFunc("GET /v1/debug/ring", s.handleDebugRing)
+	mux.HandleFunc("GET /v1/debug/cache", s.handleDebugCache)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -73,31 +89,83 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed job spec: " + err.Error()})
 		return
 	}
-	// Consistent-hash routing: a submission that reaches the wrong replica
-	// is proxied to the key's ring owner, so each key's cache entry lives
-	// on exactly one shard. Replica-to-replica traffic carries
-	// internalHeader and is never forwarded again.
-	if s.cluster != nil && r.Header.Get(internalHeader) == "" {
-		if cfg, err := spec.Config(); err == nil {
-			if key, err := sim.CanonicalKey(cfg); err == nil {
-				if owner := s.cluster.owner(key); owner != s.cluster.self {
-					s.forwardSubmit(w, r, owner, body)
-					return
-				}
+	// The canonical key is needed twice — ring routing and trace-ID
+	// derivation — so compute it once. Invalid specs skip both (they are
+	// never forwarded and never traced); Submit reproduces the 400.
+	var key string
+	cfg, cfgErr := spec.Config()
+	if cfgErr == nil {
+		key, cfgErr = sim.CanonicalKey(cfg)
+	}
+	internal := r.Header.Get(internalHeader) != ""
+
+	// Root span of the service trace. A forwarded submission carries the
+	// first replica's traceparent, so the owner's request span nests under
+	// the forwarder's peer_forward span instead of opening a second trace.
+	var reqSpan *obs.ActiveSpan
+	if s.obs != nil && cfgErr == nil {
+		parent, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceHeader))
+		if !ok {
+			parent = obs.RootContext(obs.TraceID(key, s.admissions.Add(1)))
+		}
+		reqSpan = s.obs.StartSpan(parent, "request")
+	}
+	sc := reqSpan.Context()
+
+	if s.cluster != nil && cfgErr == nil {
+		owner := s.cluster.owner(key)
+		route, rrStatus, rrErr := "local", obs.StatusOK, ""
+		if owner != s.cluster.self {
+			if internal {
+				// Loop guard: an internally-marked request for a key this
+				// replica does not own would forward forever under a
+				// disagreeing ring view. Execute locally and flag it.
+				rrStatus = obs.StatusError
+				rrErr = "loop guard: internal submission for a key owned by " + owner + "; executing locally"
+				s.log.Warn("ring loop guard tripped", append(obs.LogContext(sc),
+					slog.String("owner", owner), slog.String("self", s.cluster.self))...)
+			} else {
+				route = "forward"
 			}
 		}
-		// Invalid specs fall through: Submit produces the 400.
+		if s.obs != nil {
+			attrs := map[string]string{"owner": owner, "route": route}
+			if rrErr != "" {
+				attrs["loop_guard"] = "true"
+			}
+			at := s.now()
+			s.obs.RecordSpan(sc, "ring_route", "", at, at, rrStatus, rrErr, attrs)
+		}
+		if route == "forward" {
+			s.forwardSubmit(w, r, owner, body, sc)
+			reqSpan.End()
+			return
+		}
 	}
-	st, err := s.Submit(spec)
+
+	st, err := s.submit(spec, submitOpts{sc: sc})
+	finishReq := func(code int, errMsg string) {
+		if reqSpan == nil {
+			return
+		}
+		reqSpan.SetAttr("code", strconv.Itoa(code))
+		if errMsg != "" {
+			reqSpan.SetError(errMsg)
+		}
+		reqSpan.End()
+	}
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		finishReq(http.StatusTooManyRequests, err.Error())
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
+		finishReq(http.StatusServiceUnavailable, err.Error())
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		return
 	case err != nil:
+		finishReq(http.StatusBadRequest, err.Error())
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
@@ -105,6 +173,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if st.Cached {
 		code = http.StatusOK // served from cache, already done
 	}
+	finishReq(code, "")
 	writeJSON(w, code, st)
 }
 
@@ -190,8 +259,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// The ring-ownership gauge is a cache scan; refresh it per scrape
-	// rather than on every cache mutation.
+	// rather than on every cache mutation. Trace-store health likewise.
 	s.metrics.RingOwnedKeys.Store(s.ownedCachedKeys())
+	if s.obs != nil {
+		s.metrics.SetTraceStats(s.obs.Stats())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = s.metrics.WriteTo(w)
 }

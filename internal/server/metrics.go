@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 
+	"offloadsim/internal/obs"
 	"offloadsim/internal/oscore"
 )
 
@@ -41,6 +43,24 @@ type Metrics struct {
 	ReservedSlots atomic.Int64 // extra pool slots held by running parallel jobs
 	RingOwnedKeys atomic.Int64 // cached results whose key this replica owns per the ring (refreshed at scrape)
 
+	// SLO burn counters (docs/OBSERVABILITY.md). The latency pair splits
+	// every finished job against the configured per-job latency target so
+	// scrapers compute burn rate as breach_total / (within_total +
+	// breach_total) over any window. Targets are stored as float bits so
+	// observe and scrape need no lock.
+	SLOLatencyWithin atomic.Uint64 // jobs that finished within the latency target
+	SLOLatencyBreach atomic.Uint64 // jobs that exceeded the latency target
+	sloLatencyBits   atomic.Uint64 // float64 bits of the latency target in seconds; 0 disables
+	sloCacheHitBits  atomic.Uint64 // float64 bits of the cache-hit-ratio target; 0 disables
+
+	// Service-trace store health, refreshed at scrape like RingOwnedKeys
+	// (zero when tracing is disabled).
+	TraceStoreTraces atomic.Int64  // traces resident in the in-memory store
+	TraceStoreSpans  atomic.Int64  // spans resident across all stored traces
+	SpansRecorded    atomic.Uint64 // service spans accepted into the store
+	SpansDropped     atomic.Uint64 // service spans dropped (per-trace span cap, late arrivals)
+	TracesEvicted    atomic.Uint64 // whole traces evicted FIFO by the store cap
+
 	latency   histogram
 	queueWait histogram
 	simSpeed  histogram
@@ -75,8 +95,40 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// ObserveJobLatency records one job's submit-to-finish wall time.
-func (m *Metrics) ObserveJobLatency(seconds float64) { m.latency.observe(seconds) }
+// SetSLOTargets installs the SLO targets: the per-job latency target in
+// seconds and the minimum cache-hit ratio. Values <= 0 disable the
+// corresponding series. Call before serving traffic.
+func (m *Metrics) SetSLOTargets(latencySeconds, cacheHitMin float64) {
+	if latencySeconds > 0 {
+		m.sloLatencyBits.Store(math.Float64bits(latencySeconds))
+	}
+	if cacheHitMin > 0 {
+		m.sloCacheHitBits.Store(math.Float64bits(cacheHitMin))
+	}
+}
+
+// SetTraceStats refreshes the trace-store health gauges; called at
+// scrape time with obs.Tracer.Stats().
+func (m *Metrics) SetTraceStats(traces, spans int, recorded, dropped, evicted uint64) {
+	m.TraceStoreTraces.Store(int64(traces))
+	m.TraceStoreSpans.Store(int64(spans))
+	m.SpansRecorded.Store(recorded)
+	m.SpansDropped.Store(dropped)
+	m.TracesEvicted.Store(evicted)
+}
+
+// ObserveJobLatency records one job's submit-to-finish wall time and, if
+// a latency target is configured, scores it against the SLO.
+func (m *Metrics) ObserveJobLatency(seconds float64) {
+	m.latency.observe(seconds)
+	if target := math.Float64frombits(m.sloLatencyBits.Load()); target > 0 {
+		if seconds <= target {
+			m.SLOLatencyWithin.Add(1)
+		} else {
+			m.SLOLatencyBreach.Add(1)
+		}
+	}
+}
 
 // ObserveOSCoreDepth records one syscall class's mean cluster queue
 // depth from a finished multi-OS-core job. Unknown class names are
@@ -119,6 +171,12 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counterF := func(name, help string, v float64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
 	counter("offsimd_jobs_submitted_total", "Accepted job submissions.", m.JobsSubmitted.Load())
 	counter("offsimd_jobs_completed_total", "Jobs finished successfully.", m.JobsCompleted.Load())
 	counter("offsimd_jobs_failed_total", "Jobs that errored, timed out or were aborted.", m.JobsFailed.Load())
@@ -137,15 +195,30 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("offsimd_jobs_forwarded_total", "Submissions routed to their consistent-hash ring owner.", m.JobsForwarded.Load())
 	counter("offsimd_sweeps_total", "Sweep requests accepted.", m.Sweeps.Load())
 	counter("offsimd_sweep_points_total", "Grid points accepted across all sweeps.", m.SweepPoints.Load())
-	// Canonical gauge names carry a unit suffix per the Prometheus naming
-	// conventions; the unsuffixed originals are kept as deprecated
-	// aliases so existing dashboards keep scraping.
 	gauge("offsimd_queue_depth_jobs", "Jobs waiting in the bounded queue.", m.QueueDepth.Load())
-	gauge("offsimd_queue_depth", "DEPRECATED: alias of offsimd_queue_depth_jobs.", m.QueueDepth.Load())
 	gauge("offsimd_jobs_running", "Jobs currently being simulated.", m.JobsRunning.Load())
 	gauge("offsimd_reserved_worker_slots", "Extra worker-pool slots held by running parallel jobs.", m.ReservedSlots.Load())
-	gauge("offsimd_reserved_slots", "DEPRECATED: alias of offsimd_reserved_worker_slots.", m.ReservedSlots.Load())
 	gauge("offsimd_ring_owned_keys", "Cached results whose key this replica owns per the hash ring.", m.RingOwnedKeys.Load())
+	gauge("offsimd_trace_store_traces", "Service traces resident in the in-memory store.", m.TraceStoreTraces.Load())
+	gauge("offsimd_trace_store_spans", "Service spans resident across all stored traces.", m.TraceStoreSpans.Load())
+	counter("offsimd_spans_recorded_total", "Service spans accepted into the trace store.", m.SpansRecorded.Load())
+	counter("offsimd_spans_dropped_total", "Service spans dropped by the per-trace span cap.", m.SpansDropped.Load())
+	counter("offsimd_traces_evicted_total", "Whole service traces evicted FIFO by the store cap.", m.TracesEvicted.Load())
+	if target := math.Float64frombits(m.sloLatencyBits.Load()); target > 0 {
+		gaugeF("offsimd_slo_latency_target_seconds", "Configured per-job latency SLO target.", target)
+		counter("offsimd_slo_latency_within_total", "Jobs that finished within the latency SLO target.", m.SLOLatencyWithin.Load())
+		counter("offsimd_slo_latency_breach_total", "Jobs that exceeded the latency SLO target.", m.SLOLatencyBreach.Load())
+	}
+	if target := math.Float64frombits(m.sloCacheHitBits.Load()); target > 0 {
+		// Burn rate is computed by the scraper against the existing
+		// offsimd_cache_{hits,misses}_total counters.
+		gaugeF("offsimd_slo_cache_hit_target_ratio", "Configured minimum cache-hit-ratio SLO target.", target)
+	}
+	rt := obs.ReadRuntimeStats()
+	gauge("offsimd_go_goroutines", "Live goroutines in the daemon process.", rt.Goroutines)
+	gauge("offsimd_go_heap_bytes", "Bytes of live heap objects.", rt.HeapBytes)
+	counter("offsimd_go_gc_cycles_total", "Completed GC cycles since process start.", rt.GCCycles)
+	counterF("offsimd_go_gc_pause_seconds_total", "Approximate total stop-the-world GC pause time.", rt.GCPauseSeconds)
 	m.writeOSCoreDepth(cw)
 	m.latency.writeTo(cw, "offsimd_job_latency_seconds", "Submit-to-finish job latency.")
 	m.queueWait.writeTo(cw, "offsimd_queue_wait_seconds", "Submit-to-worker-pickup queue wait.")

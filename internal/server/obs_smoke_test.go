@@ -1,0 +1,536 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"offloadsim/internal/obs"
+	"offloadsim/internal/sim"
+)
+
+// obs_smoke_test.go is the `make obs-smoke` gate: an in-process
+// 3-replica fleet with tracing enabled runs a forwarded job, a stolen
+// job and an 8-point sweep, and each must come back from GET
+// /v1/debug/traces/{id} as one fully-stitched trace — a single root,
+// every parent ID resolvable, spans from every replica that touched the
+// work. A trailing determinism test pins span IDs and structure, and a
+// results-equivalence test proves tracing never touches simulation
+// output (docs/OBSERVABILITY.md).
+
+// tracedFleet boots an n-replica fleet with service tracing enabled on
+// every replica; extra mutates per-replica options on top of that.
+func tracedFleet(t *testing.T, n int, extra func(i int, o *Options)) *fleet {
+	t.Helper()
+	return newFleet(t, n, func(i int, o *Options) {
+		o.Obs.Tracing = true
+		if extra != nil {
+			extra(i, o)
+		}
+	})
+}
+
+// debugTrace fetches GET /v1/debug/traces/{id}?format=json from rep.
+func debugTrace(t *testing.T, rep *fleetReplica, id string) (int, []obs.Span) {
+	t.Helper()
+	resp, err := http.Get(rep.addr + "/v1/debug/traces/" + id + "?format=json")
+	if err != nil {
+		t.Fatalf("GET /v1/debug/traces/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	var spans []obs.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatalf("decoding trace %s: %v", id, err)
+	}
+	return resp.StatusCode, spans
+}
+
+// waitTrace polls the stitched trace of id on rep until every span name
+// in want is present — some spans (a sweep root, a steal push) are
+// recorded moments after the client-visible operation completes.
+func waitTrace(t *testing.T, rep *fleetReplica, id string, want ...string) []obs.Span {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, spans := debugTrace(t, rep, id)
+		if code == http.StatusOK {
+			names := map[string]int{}
+			for _, sp := range spans {
+				names[sp.Name]++
+			}
+			missing := ""
+			for _, w := range want {
+				if names[w] == 0 {
+					missing = w
+					break
+				}
+			}
+			if missing == "" {
+				return spans
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("trace %s never grew a %q span (have %v)", id, missing, names)
+			}
+		} else if time.Now().After(deadline) {
+			t.Fatalf("GET /v1/debug/traces/%s: HTTP %d after 30s", id, code)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// assertStitched checks the orphan-free single-tree invariant: one
+// trace ID, exactly one root span, and every non-root parent ID present
+// in the span set — a forwarded or stolen leg whose spans failed to
+// stitch shows up here as an orphan.
+func assertStitched(t *testing.T, spans []obs.Span) obs.Span {
+	t.Helper()
+	if len(spans) == 0 {
+		t.Fatal("empty trace")
+	}
+	ids := map[string]bool{}
+	for _, sp := range spans {
+		if sp.TraceID != spans[0].TraceID {
+			t.Fatalf("span %s/%s carries trace %s; rest of the tree is %s",
+				sp.Name, sp.SpanID, sp.TraceID, spans[0].TraceID)
+		}
+		if ids[sp.SpanID] {
+			t.Fatalf("duplicate span ID %s (%s)", sp.SpanID, sp.Name)
+		}
+		ids[sp.SpanID] = true
+	}
+	var root obs.Span
+	roots := 0
+	for _, sp := range spans {
+		if sp.Parent == "" {
+			root, roots = sp, roots+1
+			continue
+		}
+		if !ids[sp.Parent] {
+			t.Fatalf("orphan span %s (%s): parent %s is not in the stitched trace",
+				sp.SpanID, sp.Name, sp.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("stitched trace has %d roots, want exactly 1", roots)
+	}
+	return root
+}
+
+// spanReplicas returns the set of replica addresses that recorded spans.
+func spanReplicas(spans []obs.Span) map[string]bool {
+	out := map[string]bool{}
+	for _, sp := range spans {
+		out[sp.Replica] = true
+	}
+	return out
+}
+
+// TestObsSmokeForwardedTrace submits a job to a non-owner replica: the
+// request is forwarded over HTTP, and the trace downloaded from the
+// owner must be one stitched tree spanning both replicas — the
+// forwarder's request/ring_route/peer_forward leg and the owner's
+// admission/sim_execute leg, joined by Traceparent propagation.
+func TestObsSmokeForwardedTrace(t *testing.T) {
+	fl := tracedFleet(t, 3, nil)
+	var cursor uint64
+	spec := fl.specOwnedBy(t, 1, &cursor)
+	body, _ := json.Marshal(spec)
+
+	code, st, apiErr := postJob(t, fl.reps[0].ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("forwarded submit: HTTP %d (%s)", code, apiErr.Error)
+	}
+	if st.Replica != fl.reps[1].addr {
+		t.Fatalf("job landed on %s, want owner %s", st.Replica, fl.reps[1].addr)
+	}
+	if fin := waitJob(t, fl.reps[1], st.ID); fin.State != StateDone {
+		t.Fatalf("forwarded job failed: %s", fin.Error)
+	}
+
+	spans := waitTrace(t, fl.reps[1], st.ID,
+		"request", "ring_route", "peer_forward", "admission", "sim_execute")
+	root := assertStitched(t, spans)
+	if root.Name != "request" || root.Replica != fl.reps[0].addr {
+		t.Fatalf("root span = %s on %s, want the forwarder's request span", root.Name, root.Replica)
+	}
+	if fwd := spanByName(t, spans, "peer_forward"); fwd.Replica != fl.reps[0].addr {
+		t.Fatalf("peer_forward recorded on %s, want forwarder %s", fwd.Replica, fl.reps[0].addr)
+	}
+	if exec := spanByName(t, spans, "sim_execute"); exec.Replica != fl.reps[1].addr {
+		t.Fatalf("sim_execute recorded on %s, want owner %s", exec.Replica, fl.reps[1].addr)
+	}
+	if reps := spanReplicas(spans); len(reps) < 2 {
+		t.Fatalf("trace spans replicas %v, want both sides of the forward", reps)
+	}
+
+	// The default download is a Chrome trace Perfetto can load.
+	resp, err := http.Get(fl.reps[1].addr + "/v1/debug/traces/" + st.ID)
+	if err != nil {
+		t.Fatalf("GET chrome trace: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chrome trace download: HTTP %d", resp.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) < len(spans) {
+		t.Fatalf("chrome trace holds %d events for %d spans", len(chrome.TraceEvents), len(spans))
+	}
+}
+
+// TestObsSmokeStolenTrace wedges a single-worker replica past its steal
+// threshold so a job is pushed to a victim, then asserts the stolen
+// job's trace is one stitched tree: the owner's steal_push leg and the
+// victim's peer_execute/sim_execute leg under a single root.
+func TestObsSmokeStolenTrace(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+
+	fl := tracedFleet(t, 3, func(i int, o *Options) {
+		if i == 0 {
+			o.Workers = 1
+			o.Cluster.StealThreshold = 1
+		}
+	})
+	t.Cleanup(openGate)
+	inner := fl.reps[0].srv.runSim
+	fl.reps[0].srv.runSim = func(c sim.Config) (sim.Result, error) {
+		<-gate
+		return inner(c)
+	}
+
+	var cursor uint64
+	var stolen JobStatus
+	for i := 0; i < 8 && stolen.ID == ""; i++ {
+		spec := fl.specOwnedBy(t, 0, &cursor)
+		body, _ := json.Marshal(spec)
+		code, st, apiErr := postJob(t, fl.reps[0].ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d (%s)", i, code, apiErr.Error)
+		}
+		if st.Stolen {
+			stolen = st
+		}
+	}
+	if stolen.ID == "" {
+		t.Fatal("no submission entered the steal path with a wedged single-worker owner and threshold 1")
+	}
+	// The victim executes the stolen job while the owner stays wedged.
+	if fin := waitJob(t, fl.reps[0], stolen.ID); fin.State != StateDone {
+		t.Fatalf("stolen job failed: %s", fin.Error)
+	}
+
+	spans := waitTrace(t, fl.reps[0], stolen.ID,
+		"request", "admission", "steal_push", "peer_execute", "sim_execute")
+	root := assertStitched(t, spans)
+	if root.Replica != fl.reps[0].addr {
+		t.Fatalf("root span on %s, want the owner %s", root.Replica, fl.reps[0].addr)
+	}
+	push := spanByName(t, spans, "steal_push")
+	if push.Replica != fl.reps[0].addr || push.Status != obs.StatusOK {
+		t.Fatalf("steal_push: replica %s status %s, want ok on the owner", push.Replica, push.Status)
+	}
+	victim := push.Attrs["victim"]
+	if victim == "" || victim == fl.reps[0].addr {
+		t.Fatalf("steal_push victim attr = %q, want a peer address", victim)
+	}
+	exec := spanByName(t, spans, "peer_execute")
+	if exec.Replica != victim {
+		t.Fatalf("peer_execute recorded on %s, want the victim %s", exec.Replica, victim)
+	}
+	if sim := spanByName(t, spans, "sim_execute"); sim.Replica != victim {
+		t.Fatalf("sim_execute recorded on %s, want the victim %s (owner is wedged)", sim.Replica, victim)
+	}
+	if reps := spanReplicas(spans); len(reps) < 2 {
+		t.Fatalf("trace spans replicas %v, want owner and victim", reps)
+	}
+	openGate()
+}
+
+// TestObsSmokeSweepTrace runs an 8-point sweep across the fleet and
+// asserts the sweep trace is one stitched tree: a sweep root, all 8
+// sweep_point spans under it, and every point's sim_execute reachable
+// from its sweep_point through the stitched parent chain — whether the
+// point ran locally or was dispatched to a peer.
+func TestObsSmokeSweepTrace(t *testing.T) {
+	fl := tracedFleet(t, 3, nil)
+	body := []byte(`{
+		"workloads": ["apache"],
+		"policies": ["HI"],
+		"thresholds": [50, 100, 150, 200],
+		"latencies": [50, 100],
+		"warmup_instrs": 0,
+		"measure_instrs": 20000,
+		"seed": 1,
+		"normalize": false,
+		"concurrency": 4
+	}`)
+	id, lines, prog := runSweep(t, fl.reps[0], body)
+	if len(lines) != 8 || !prog.Complete || prog.Done != 8 || prog.Failed != 0 {
+		t.Fatalf("sweep streamed %d points, trailer %+v; want 8 done", len(lines), prog)
+	}
+
+	spans := waitTrace(t, fl.reps[0], id, "sweep", "sweep_point", "sim_execute")
+	root := assertStitched(t, spans)
+	if root.Name != "sweep" || root.Replica != fl.reps[0].addr {
+		t.Fatalf("root span = %s on %s, want the submitting replica's sweep span", root.Name, root.Replica)
+	}
+	if root.Attrs["points"] != "8" {
+		t.Fatalf("sweep root points attr = %q, want 8", root.Attrs["points"])
+	}
+
+	byID := map[string]obs.Span{}
+	points := 0
+	for _, sp := range spans {
+		byID[sp.SpanID] = sp
+		if sp.Name == "sweep_point" {
+			points++
+			if sp.Parent != root.SpanID {
+				t.Fatalf("sweep_point %s parented under %s, want the sweep root", sp.SpanID, sp.Parent)
+			}
+		}
+		if sp.Name == "sweep_baseline" {
+			t.Fatal("normalize:false sweep recorded a sweep_baseline span")
+		}
+	}
+	if points != 8 {
+		t.Fatalf("trace holds %d sweep_point spans, want 8", points)
+	}
+	// Each executed point must chain back to a sweep_point: walking
+	// parents from every sim_execute crosses the peer_execute/admission
+	// stitch even when the point ran on a remote replica.
+	executed := map[string]bool{} // sweep_point span IDs with a sim_execute descendant
+	for _, sp := range spans {
+		if sp.Name != "sim_execute" {
+			continue
+		}
+		for cur := sp; cur.Parent != ""; {
+			parent, ok := byID[cur.Parent]
+			if !ok {
+				t.Fatalf("sim_execute %s ancestry broken at %s", sp.SpanID, cur.Parent)
+			}
+			if parent.Name == "sweep_point" {
+				executed[parent.SpanID] = true
+				break
+			}
+			cur = parent
+		}
+	}
+	if len(executed) != 8 {
+		t.Fatalf("%d of 8 sweep points have a stitched sim_execute", len(executed))
+	}
+}
+
+// spanShape is a span minus everything timing-dependent: what must be
+// identical between two runs of the same submissions.
+type spanShape struct {
+	SpanID, ParentID, Name, JobID, Status, Error string
+	Attrs                                        string
+}
+
+func shapeOf(spans []obs.Span) []spanShape {
+	out := make([]spanShape, 0, len(spans))
+	for _, sp := range spans {
+		attrs, _ := json.Marshal(sp.Attrs) // map marshal sorts keys
+		out = append(out, spanShape{
+			SpanID: sp.SpanID, ParentID: sp.Parent, Name: sp.Name,
+			JobID: sp.JobID, Status: sp.Status, Error: sp.Error,
+			Attrs: string(attrs),
+		})
+	}
+	return out
+}
+
+// TestObsTraceDeterminism runs the same submission sequence against two
+// identical single-replica servers: trace IDs, span IDs, parent edges,
+// names, job bindings and attrs must match exactly — only timestamps
+// may differ (docs/OBSERVABILITY.md, "Deterministic IDs").
+func TestObsTraceDeterminism(t *testing.T) {
+	specs := []JobSpec{smallSpec(101), smallSpec(102), smallSpec(103)}
+
+	run := func() [][]obs.Span {
+		srv := New(Options{QueueSize: 16, Workers: 2, Obs: ObsOptions{Tracing: true}})
+		srv.Start()
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+		var traces [][]obs.Span
+		for _, spec := range specs {
+			body, _ := json.Marshal(spec)
+			code, st, apiErr := postJob(t, ts, body)
+			if code != http.StatusAccepted {
+				t.Fatalf("submit: HTTP %d (%s)", code, apiErr.Error)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if fin, err := srv.Wait(ctx, st.ID); err != nil || fin.State != StateDone {
+				t.Fatalf("job did not finish: %v / %+v", err, fin)
+			}
+			cancel()
+			tid, ok := srv.obs.TraceIDFor(st.ID)
+			if !ok {
+				t.Fatalf("no trace bound to %s", st.ID)
+			}
+			traces = append(traces, srv.obs.Spans(tid))
+		}
+		return traces
+	}
+
+	a, b := run(), run()
+	for i := range specs {
+		sa, sb := shapeOf(a[i]), shapeOf(b[i])
+		if len(a[i]) == 0 {
+			t.Fatalf("spec %d: empty trace", i)
+		}
+		if a[i][0].TraceID != b[i][0].TraceID {
+			t.Fatalf("spec %d: trace IDs differ: %s vs %s", i, a[i][0].TraceID, b[i][0].TraceID)
+		}
+		if fmt.Sprint(sa) != fmt.Sprint(sb) {
+			t.Fatalf("spec %d: span structure differs between identical runs:\n%v\nvs\n%v", i, sa, sb)
+		}
+	}
+}
+
+// TestObsResultsUnchangedByTracing proves the tracing layer observes
+// without perturbing: the /v1/results document for the same spec is
+// byte-identical with tracing on and off.
+func TestObsResultsUnchangedByTracing(t *testing.T) {
+	spec := smallSpec(777)
+	body, _ := json.Marshal(spec)
+
+	run := func(tracing bool) []byte {
+		srv := New(Options{QueueSize: 16, Workers: 2, Obs: ObsOptions{Tracing: tracing}})
+		srv.Start()
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+		code, st, apiErr := postJob(t, ts, body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: HTTP %d (%s)", code, apiErr.Error)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if fin, err := srv.Wait(ctx, st.ID); err != nil || fin.State != StateDone {
+			t.Fatalf("job did not finish: %v / %+v", err, fin)
+		}
+		code, raw := getResult(t, ts, st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("GET result: HTTP %d", code)
+		}
+		return raw
+	}
+
+	traced, plain := run(true), run(false)
+	if !bytes.Equal(traced, plain) {
+		t.Fatalf("result bytes differ with tracing on vs off:\n%s\nvs\n%s", traced, plain)
+	}
+}
+
+// TestServerTracingOverheadDisabled gates the tracing-disabled server
+// path at <=2% over raw simulation: with Obs zero-valued, the whole
+// submit-to-result pipeline (key hashing, queueing, the nil-tracer
+// checks at every span site) must cost no more than 2% on top of
+// running the engine directly on the same configs. Env-gated like
+// TestTelemetryOverheadDisabled so plain `go test` stays fast; `make
+// telemetry-overhead` (part of `make ci`) runs it.
+func TestServerTracingOverheadDisabled(t *testing.T) {
+	if os.Getenv("OFFLOADSIM_TELEMETRY_OVERHEAD") == "" {
+		t.Skip("set OFFLOADSIM_TELEMETRY_OVERHEAD to run the overhead gate")
+	}
+	const jobs = 8
+	meas := uint64(500_000)
+	warm := uint64(0)
+	specAt := func(seed uint64) JobSpec {
+		s := seed
+		return JobSpec{Workload: "apache", Policy: "HI",
+			WarmupInstrs: &warm, MeasureInstrs: &meas, Seed: &s}
+	}
+
+	var bestRatio float64 = -1
+	seed := uint64(1)
+	for attempt := 0; attempt < 5; attempt++ {
+		// Fresh server per attempt; fresh seeds per attempt so the result
+		// cache never short-circuits a simulation.
+		srv := New(Options{QueueSize: 16, Workers: 1})
+		srv.Start()
+
+		cfgs := make([]sim.Config, jobs)
+		specs := make([]JobSpec, jobs)
+		for i := range specs {
+			specs[i] = specAt(seed)
+			seed++
+			cfg, err := specs[i].Config()
+			if err != nil {
+				t.Fatalf("spec config: %v", err)
+			}
+			cfgs[i] = cfg
+		}
+
+		// Server path: sequential submit+wait through the full pipeline.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		serverStart := time.Now()
+		for _, spec := range specs {
+			st, err := srv.Submit(spec)
+			if err != nil {
+				t.Fatalf("submit: %v", err)
+			}
+			if fin, err := srv.Wait(ctx, st.ID); err != nil || fin.State != StateDone {
+				t.Fatalf("job did not finish: %v / %+v", err, fin)
+			}
+		}
+		serverTime := time.Since(serverStart)
+		cancel()
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_ = srv.Shutdown(sctx)
+		scancel()
+
+		// Baseline: the same configs through sim.Run directly, measured
+		// back-to-back so host-speed drift cancels out of the ratio.
+		simStart := time.Now()
+		for _, cfg := range cfgs {
+			eng, err := sim.New(cfg)
+			if err != nil {
+				t.Fatalf("sim.New: %v", err)
+			}
+			_ = eng.Run()
+		}
+		simTime := time.Since(simStart)
+
+		ratio := float64(serverTime) / float64(simTime)
+		if bestRatio < 0 || ratio < bestRatio {
+			bestRatio = ratio
+		}
+		if ratio <= 1.02 {
+			t.Logf("tracing-disabled server path: %.1f%% of raw simulation time (%v vs %v over %d jobs)",
+				100*ratio, serverTime, simTime, jobs)
+			return
+		}
+	}
+	t.Errorf("tracing-disabled server path costs %.1f%% of raw simulation at best (want <= 102%%) — the disabled-tracing fast path has regressed", 100*bestRatio)
+}

@@ -164,7 +164,7 @@ func TestParallelModeEndToEnd(t *testing.T) {
 	metrics := sb.String()
 	for _, want := range []string{
 		"offsimd_jobs_parallel_total 1",
-		"offsimd_reserved_slots 0",
+		"offsimd_reserved_worker_slots 0",
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)

@@ -4,11 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"offloadsim/internal/cluster"
+	"offloadsim/internal/obs"
 	"offloadsim/internal/sample"
 	"offloadsim/internal/sim"
 	"offloadsim/internal/telemetry"
@@ -30,6 +34,31 @@ type Options struct {
 	// routing, peer cache tier, work-stealing, sweep fan-out). The zero
 	// value runs a single replica. See docs/CLUSTER.md.
 	Cluster ClusterOptions
+	// Obs configures request-scoped tracing, structured logging and SLO
+	// instrumentation (docs/OBSERVABILITY.md). The zero value disables
+	// tracing and discards logs.
+	Obs ObsOptions
+}
+
+// ObsOptions is the observability configuration (docs/OBSERVABILITY.md).
+type ObsOptions struct {
+	// Tracing enables the service-span collector and the
+	// /v1/debug/traces endpoints. Disabled, every instrumentation site
+	// degrades to a nil-check (the ≤2% overhead path gated in CI).
+	Tracing bool
+	// MaxTraces bounds the in-memory trace store (0 =
+	// obs.DefaultMaxTraces). Whole traces are evicted FIFO.
+	MaxTraces int
+	// Logger receives structured logs with trace/span correlation
+	// fields; nil discards them without formatting.
+	Logger *slog.Logger
+	// SLOLatencyP95 is the per-job latency target backing the
+	// offsimd_slo_latency_* burn counters; 0 disables them.
+	SLOLatencyP95 time.Duration
+	// SLOCacheHitMin is the cache-hit-ratio target exported as
+	// offsimd_slo_cache_hit_target_ratio for burn-rate computation
+	// against the cache hit/miss counters; <= 0 disables it.
+	SLOCacheHitMin float64
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +101,15 @@ type Server struct {
 
 	// now is swappable for tests; defaults to time.Now.
 	now func() time.Time
+
+	// obs collects service spans; nil when Options.Obs.Tracing is off
+	// (every emission site is then a nil-check no-op).
+	obs *obs.Tracer
+	// log is the structured logger; never nil (discard by default).
+	log *slog.Logger
+	// admissions numbers trace-creating admissions; together with the
+	// canonical key it derives deterministic trace IDs.
+	admissions atomic.Uint64
 
 	mu       sync.Mutex
 	jobs     map[string]*job   // all jobs by id
@@ -133,6 +171,17 @@ func New(opts Options) *Server {
 	if opts.Cluster.Enabled() {
 		srv.cluster = newClusterNode(opts.Cluster)
 	}
+	srv.log = obs.LoggerOrDiscard(opts.Obs.Logger)
+	if opts.Obs.Tracing {
+		replica := ""
+		if opts.Cluster.Enabled() {
+			replica = opts.Cluster.Membership.Self
+		}
+		// The tracer reads the clock through the server so tests that
+		// swap srv.now keep span times consistent with job times.
+		srv.obs = obs.NewTracer(replica, opts.Obs.MaxTraces, func() time.Time { return srv.now() })
+	}
+	srv.metrics.SetSLOTargets(opts.Obs.SLOLatencyP95.Seconds(), opts.Obs.SLOCacheHitMin)
 	srv.coord = &cluster.Coordinator{RunPoint: srv.runSweepPoint}
 	return srv
 }
@@ -166,6 +215,9 @@ type submitOpts struct {
 	// here, period — no forwarding (done at the HTTP layer) and no
 	// re-stealing, so work cannot bounce around the fleet.
 	internal bool
+	// sc is the caller's trace position (HTTP request span, peer_execute
+	// span, sweep point). Invalid starts a fresh trace at admission.
+	sc obs.SpanContext
 }
 
 func (s *Server) submit(spec JobSpec, opt submitOpts) (JobStatus, error) {
@@ -195,6 +247,37 @@ func (s *Server) submit(spec JobSpec, opt submitOpts) (JobStatus, error) {
 		done:        make(chan struct{}),
 	}
 
+	// Admission span: the root of the job's local span subtree. A job
+	// arriving with trace context (forwarded, stolen, or a sweep point)
+	// stitches under the caller's span; otherwise admission starts a new
+	// trace whose ID is a pure function of the canonical key and the
+	// admission ordinal (docs/OBSERVABILITY.md).
+	var adm *obs.ActiveSpan
+	if s.obs != nil {
+		parent := opt.sc
+		if !parent.Valid() {
+			parent = obs.RootContext(obs.TraceID(key, s.admissions.Add(1)))
+		}
+		adm = s.obs.StartSpan(parent, "admission")
+		adm.SetJob(j.id)
+		if opt.internal {
+			adm.SetAttr("internal", "true")
+		}
+		j.tctx = adm.Context()
+	}
+	finishAdm := func(outcome string, err error) {
+		if adm == nil {
+			return
+		}
+		adm.SetAttr("outcome", outcome)
+		if err != nil {
+			adm.SetError(err.Error())
+		}
+		adm.End()
+		s.log.Debug("job admitted", append(obs.LogContext(j.tctx),
+			slog.String("job", j.id), slog.String("outcome", outcome))...)
+	}
+
 	if j.trace {
 		// A trace job must actually simulate: a cached result document
 		// has no event timeline, and a coalesced waiter would inherit a
@@ -204,21 +287,37 @@ func (s *Server) submit(spec JobSpec, opt submitOpts) (JobStatus, error) {
 		// result still back-fills the shared cache on completion.
 		if !s.queue.tryPush(j) {
 			s.metrics.JobsRejected.Add(1)
+			finishAdm("rejected", ErrQueueFull)
 			return JobStatus{}, ErrQueueFull
 		}
 		s.jobs[j.id] = j
 		s.metrics.JobsSubmitted.Add(1)
 		s.metrics.CacheMisses.Add(1)
 		s.metrics.QueueDepth.Add(1)
+		finishAdm("enqueued_trace", nil)
 		return s.stamp(j.status()), nil
 	}
 
-	if res, ok := s.cache.get(key); ok {
+	var lookupStart time.Time
+	if s.obs != nil {
+		lookupStart = s.now()
+	}
+	res, hit := s.cache.get(key)
+	if s.obs != nil {
+		outcome := "miss"
+		if hit {
+			outcome = "hit"
+		}
+		s.obs.RecordSpan(j.tctx, "cache_lookup", j.id, lookupStart, s.now(),
+			obs.StatusOK, "", map[string]string{"tier": "local", "outcome": outcome})
+	}
+	if hit {
 		s.jobs[j.id] = j
 		j.cached = true
 		s.completeLocked(j, res, "")
 		s.metrics.JobsSubmitted.Add(1)
 		s.metrics.CacheHits.Add(1)
+		finishAdm("cache_hit", nil)
 		return s.stamp(j.status()), nil
 	}
 
@@ -231,6 +330,7 @@ func (s *Server) submit(spec JobSpec, opt submitOpts) (JobStatus, error) {
 		s.metrics.JobsSubmitted.Add(1)
 		s.metrics.CacheMisses.Add(1)
 		s.metrics.JobsCoalesced.Add(1)
+		finishAdm("coalesced", nil)
 		return s.stamp(j.status()), nil
 	}
 
@@ -244,12 +344,14 @@ func (s *Server) submit(spec JobSpec, opt submitOpts) (JobStatus, error) {
 		j.stolen = true
 		s.metrics.JobsSubmitted.Add(1)
 		s.metrics.CacheMisses.Add(1)
+		finishAdm("steal_offered", nil)
 		go s.stealOrRun(j)
 		return s.stamp(j.status()), nil
 	}
 
 	if !s.queue.tryPush(j) {
 		s.metrics.JobsRejected.Add(1)
+		finishAdm("rejected", ErrQueueFull)
 		return JobStatus{}, ErrQueueFull
 	}
 	s.jobs[j.id] = j
@@ -257,6 +359,7 @@ func (s *Server) submit(spec JobSpec, opt submitOpts) (JobStatus, error) {
 	s.metrics.JobsSubmitted.Add(1)
 	s.metrics.CacheMisses.Add(1)
 	s.metrics.QueueDepth.Add(1)
+	finishAdm("enqueued", nil)
 	return s.stamp(j.status()), nil
 }
 
@@ -411,6 +514,8 @@ func (s *Server) execute(j *job) {
 	j.startedAt = s.now()
 	s.mu.Unlock()
 	s.metrics.ObserveQueueWait(j.startedAt.Sub(j.submittedAt).Seconds())
+	// Retro-recorded: the wait is only known once a worker picks the job up.
+	s.obs.RecordSpan(j.tctx, "queue_wait", j.id, j.submittedAt, j.startedAt, obs.StatusOK, "", nil)
 	s.metrics.JobsRunning.Add(1)
 	defer s.metrics.JobsRunning.Add(-1)
 
@@ -467,6 +572,13 @@ func (s *Server) execute(j *job) {
 	var resBytes []byte
 	var capture *telemetry.Capture
 	var errMsg string
+	mode := "detailed"
+	switch {
+	case j.cfg.Parallel.Enabled:
+		mode = "parallel"
+	case j.cfg.Sampling.Enabled:
+		mode = "sampled"
+	}
 	select {
 	case out := <-ch:
 		if out.err != nil {
@@ -480,15 +592,30 @@ func (s *Server) execute(j *job) {
 				s.metrics.ObserveSimSpeed(float64(out.res.Instrs) / wall)
 			}
 			if out.res.OSCores != nil {
+				recStart := s.now()
 				for _, cs := range out.res.OSCores.PerClass {
 					s.metrics.ObserveOSCoreDepth(cs.Class, cs.MeanQueueDepth)
 				}
+				// The reconcile step folds the finished job's per-class
+				// OS-core telemetry back into the live gauges.
+				s.obs.RecordSpan(j.tctx, "oscore_reconcile", j.id, recStart, s.now(),
+					obs.StatusOK, "", map[string]string{"classes": strconv.Itoa(len(out.res.OSCores.PerClass))})
 			}
 		}
 	case <-ctx.Done():
 		// The simulation goroutine cannot be interrupted mid-run; it is
 		// abandoned and its eventual result discarded.
 		errMsg = fmt.Sprintf("job aborted: %v", ctx.Err())
+	}
+	simStatus, simErr := obs.StatusOK, ""
+	if errMsg != "" {
+		simStatus, simErr = obs.StatusError, errMsg
+	}
+	s.obs.RecordSpan(j.tctx, "sim_execute", j.id, simStart, s.now(), simStatus, simErr,
+		map[string]string{"mode": mode})
+	if errMsg != "" {
+		s.log.Warn("job failed", append(obs.LogContext(j.tctx),
+			slog.String("job", j.id), slog.String("error", errMsg))...)
 	}
 
 	s.finishJob(j, resBytes, capture, errMsg)

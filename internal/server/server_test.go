@@ -206,9 +206,9 @@ func TestEndToEndHTTP(t *testing.T) {
 	if misses := m["offsimd_cache_misses_total"]; misses != float64(n) {
 		t.Errorf("cache_misses_total = %v, want %d", misses, n)
 	}
-	if m["offsimd_queue_depth"] != 0 || m["offsimd_jobs_running"] != 0 {
+	if m["offsimd_queue_depth_jobs"] != 0 || m["offsimd_jobs_running"] != 0 {
 		t.Errorf("gauges not quiescent: depth=%v running=%v",
-			m["offsimd_queue_depth"], m["offsimd_jobs_running"])
+			m["offsimd_queue_depth_jobs"], m["offsimd_jobs_running"])
 	}
 	if m["offsimd_job_latency_seconds_count"] != submitted {
 		t.Errorf("latency histogram count %v != submitted %v",

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"offloadsim/internal/cluster"
+	"offloadsim/internal/obs"
 	"offloadsim/internal/sim"
 )
 
@@ -55,6 +56,39 @@ func (s *Server) runSweepPoint(ctx context.Context, req cluster.SweepRequest, p 
 	if err != nil {
 		return nil, err
 	}
+	// Per-point fan-out span under the sweep root carried in ctx. Points
+	// run concurrently, so sibling IDs come from explicit ordinals — the
+	// grid index, or the workload position for baseline (Index -1) points
+	// — keeping the span tree deterministic regardless of finish order.
+	var ps *obs.ActiveSpan
+	if parent := obs.FromContext(ctx); s.obs != nil && parent.Valid() {
+		name, ord := "sweep_point", p.Index
+		if p.Index < 0 {
+			name, ord = "sweep_baseline", 0
+			for i, wl := range req.Workloads {
+				if wl == p.Workload {
+					ord = i
+					break
+				}
+			}
+		}
+		ps = s.obs.StartSpanOrdinal(parent, name, ord)
+		ps.SetAttr("workload", p.Workload)
+		ps.SetAttr("policy", p.Policy)
+	}
+	b, err := s.routeSweepPoint(ctx, spec, key, ps.Context())
+	if ps != nil {
+		if err != nil {
+			ps.SetError(err.Error())
+		}
+		ps.End()
+	}
+	return b, err
+}
+
+// routeSweepPoint sends one decomposed point to its ring owner, falling
+// back to local execution when the fleet cannot help.
+func (s *Server) routeSweepPoint(ctx context.Context, spec JobSpec, key string, sc obs.SpanContext) ([]byte, error) {
 	if c := s.cluster; c != nil {
 		if owner := c.owner(key); owner != c.self {
 			specJSON, err := json.Marshal(spec)
@@ -62,7 +96,7 @@ func (s *Server) runSweepPoint(ctx context.Context, req cluster.SweepRequest, p 
 				return nil, err
 			}
 			for attempt := 0; ; attempt++ {
-				b, err := c.client.Execute(ctx, owner, specJSON)
+				b, err := c.client.Execute(ctx, owner, specJSON, sc.Traceparent())
 				if err == nil {
 					return b, nil
 				}
@@ -82,17 +116,17 @@ func (s *Server) runSweepPoint(ctx context.Context, req cluster.SweepRequest, p 
 			}
 		}
 	}
-	return s.runPointLocal(ctx, spec)
+	return s.runPointLocal(ctx, spec, sc)
 }
 
 // runPointLocal submits spec to this replica's own queue (honoring
 // backpressure by waiting, not failing: a sweep is a batch client) and
 // returns the finished result document.
-func (s *Server) runPointLocal(ctx context.Context, spec JobSpec) ([]byte, error) {
+func (s *Server) runPointLocal(ctx context.Context, spec JobSpec, sc obs.SpanContext) ([]byte, error) {
 	var st JobStatus
 	for {
 		var err error
-		st, err = s.Submit(spec)
+		st, err = s.submit(spec, submitOpts{sc: sc})
 		if err == nil {
 			break
 		}
@@ -132,9 +166,33 @@ func (s *Server) StartSweep(req cluster.SweepRequest) (*cluster.Sweep, error) {
 	id := fmt.Sprintf("s-%08d", s.sweepSeq)
 	s.mu.Unlock()
 
-	sw, err := s.coord.Start(s.baseCtx, id, req)
+	// Sweep root span: every fan-out point stitches under it through the
+	// context handed to the coordinator. The sweep ID binds to the trace
+	// like a job ID, so /v1/debug/traces/{sweep-id} resolves it.
+	ctx := s.baseCtx
+	var root *obs.ActiveSpan
+	if s.obs != nil {
+		root = s.obs.StartSpan(obs.RootContext(obs.TraceID("sweep:"+id, s.admissions.Add(1))), "sweep")
+		root.SetJob(id)
+		ctx = obs.ContextWith(ctx, root.Context())
+	}
+
+	sw, err := s.coord.Start(ctx, id, req)
 	if err != nil {
+		if root != nil {
+			root.SetError(err.Error())
+			root.End()
+		}
 		return nil, err
+	}
+	if root != nil {
+		root.SetAttr("points", fmt.Sprint(sw.Total()))
+		go func() {
+			// The root closes when the last point lands; Wait only errors
+			// on server shutdown, in which case the span ends then too.
+			_ = sw.Wait(s.baseCtx)
+			root.End()
+		}()
 	}
 	s.mu.Lock()
 	s.sweeps[id] = sw

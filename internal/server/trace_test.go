@@ -139,13 +139,12 @@ func TestTraceJobEndToEnd(t *testing.T) {
 	if m["offsimd_jobs_traced_total"] != 1 {
 		t.Errorf("jobs_traced_total = %v, want 1", m["offsimd_jobs_traced_total"])
 	}
-	if m["offsimd_queue_depth_jobs"] != m["offsimd_queue_depth"] {
-		t.Errorf("queue depth alias diverges: %v vs %v",
-			m["offsimd_queue_depth_jobs"], m["offsimd_queue_depth"])
-	}
-	if m["offsimd_reserved_worker_slots"] != m["offsimd_reserved_slots"] {
-		t.Errorf("reserved slots alias diverges: %v vs %v",
-			m["offsimd_reserved_worker_slots"], m["offsimd_reserved_slots"])
+	// The PR-5 deprecated aliases are gone; only the unit-suffixed
+	// canonical names remain.
+	for _, gone := range []string{"offsimd_queue_depth", "offsimd_reserved_slots"} {
+		if _, ok := m[gone]; ok {
+			t.Errorf("removed deprecated alias %s still exported", gone)
+		}
 	}
 	if m["offsimd_queue_wait_seconds_count"] < 2 {
 		t.Errorf("queue_wait_seconds_count = %v, want >= 2", m["offsimd_queue_wait_seconds_count"])

@@ -16,6 +16,7 @@ import (
 	"offloadsim/internal/core"
 	"offloadsim/internal/cpu"
 	"offloadsim/internal/migration"
+	"offloadsim/internal/obs"
 	"offloadsim/internal/policy"
 	"offloadsim/internal/sim"
 	"offloadsim/internal/telemetry"
@@ -297,6 +298,11 @@ type job struct {
 	err       string
 	result    []byte             // marshaled Result JSON, byte-identical across cache hits
 	capture   *telemetry.Capture // trace jobs only, set at completion
+
+	// tctx is the job's admission-span context: execution spans (queue
+	// wait, sim execute, steal push, ...) parent under it. Zero when
+	// tracing is disabled (docs/OBSERVABILITY.md).
+	tctx obs.SpanContext
 
 	submittedAt time.Time
 	startedAt   time.Time
